@@ -1,0 +1,72 @@
+// Command rdlfmt formats Reaction Description Language source in the
+// canonical style, the way gofmt does for Go: parse, verify, and print
+// the canonical rendering.
+//
+// Usage:
+//
+//	rdlfmt [-w] [model.rdl]
+//
+// Without arguments it filters stdin to stdout; with -w it rewrites the
+// file in place.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rms/internal/rdl"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite the file in place")
+	flag.Parse()
+	if err := run(*write, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "rdlfmt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(write bool, args []string) error {
+	switch len(args) {
+	case 0:
+		if write {
+			return fmt.Errorf("-w needs a file argument")
+		}
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		out, err := format(string(src))
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(os.Stdout, out)
+		return err
+	case 1:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		out, err := format(string(src))
+		if err != nil {
+			return err
+		}
+		if write {
+			return os.WriteFile(args[0], []byte(out), 0o644)
+		}
+		_, err = io.WriteString(os.Stdout, out)
+		return err
+	default:
+		return fmt.Errorf("expected at most one file, got %d", len(args))
+	}
+}
+
+func format(src string) (string, error) {
+	prog, err := rdl.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return rdl.Format(prog), nil
+}

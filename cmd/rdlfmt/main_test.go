@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const messy = `species   A="C[S:1][S:2]C"   init 1.0
+reaction R { reactants A
+disconnect 1:1 1:2
+rate K_r }`
+
+func TestFormatNormalizes(t *testing.T) {
+	out, err := format(messy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `species A = "C[S:1][S:2]C" init 1`) {
+		t.Errorf("output:\n%s", out)
+	}
+	// Idempotent.
+	again, err := format(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != out {
+		t.Error("formatting not idempotent")
+	}
+}
+
+func TestFormatRejectsBadSource(t *testing.T) {
+	if _, err := format("species ="); err == nil {
+		t.Error("bad source formatted")
+	}
+}
+
+func TestRunInPlace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.rdl")
+	if err := os.WriteFile(path, []byte(messy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(true, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "reaction R {") {
+		t.Errorf("rewritten file:\n%s", b)
+	}
+	if err := run(true, nil); err == nil {
+		t.Error("-w without a file accepted")
+	}
+	if err := run(false, []string{"a", "b"}); err == nil {
+		t.Error("two files accepted")
+	}
+}

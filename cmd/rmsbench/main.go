@@ -1,0 +1,96 @@
+// Command rmsbench regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	rmsbench -table 1            # Table 1, scaled sizes with timing
+//	rmsbench -table 1 -full      # Table 1, paper-scale op counts (slow)
+//	rmsbench -table 2            # Table 2, parallel speedup sweep
+//	rmsbench -ablate             # optimizer-pass ablation study
+//	rmsbench -sweep              # workload-redundancy sensitivity sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rms/internal/bench"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "which table to regenerate (1 or 2)")
+		full   = flag.Bool("full", false, "table 1: paper-scale sizes (static counts only)")
+		ablate = flag.Bool("ablate", false, "run the optimizer ablation study")
+		sweep  = flag.Bool("sweep", false, "run the workload-redundancy sensitivity sweep")
+		evalMs = flag.Int("evalms", 300, "milliseconds of timing per configuration")
+	)
+	flag.Parse()
+	if err := run(*table, *full, *ablate, *sweep, *evalMs); err != nil {
+		fmt.Fprintln(os.Stderr, "rmsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, full, ablate, sweep bool, evalMs int) error {
+	did := false
+	if table == 1 {
+		did = true
+		rows, err := bench.Table1(bench.Table1Config{
+			Paper:       full,
+			MinEvalTime: time.Duration(evalMs) * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1 — optimization combinations across the five vulcanization test cases")
+		if full {
+			fmt.Println("(paper-scale sizes; static op counts, no timing)")
+		} else {
+			fmt.Println("(scaled sizes; xlc columns model the 4.5 GB thin node at paper scale)")
+		}
+		fmt.Print(bench.FormatTable1(rows))
+	}
+	if table == 2 {
+		did = true
+		rows, err := bench.Table2(bench.Table2Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 2 — parallel objective over 16 data files (modeled parallel seconds)")
+		fmt.Print(bench.FormatTable2(rows))
+	}
+	if ablate {
+		did = true
+		if err := runAblation(); err != nil {
+			return err
+		}
+	}
+	if sweep {
+		did = true
+		rows, err := bench.RedundancySweep(128, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Workload-redundancy sweep (128-variant case, equivalent-site multiplicity scaled)")
+		fmt.Print(bench.FormatSweep(rows))
+	}
+	if !did {
+		flag.Usage()
+	}
+	return nil
+}
+
+// runAblation reports the op counts of every optimizer pass combination
+// on one mid-size test case, quantifying each pass's contribution.
+func runAblation() error {
+	const variants = 256
+	rows, rawM, rawA, err := bench.Ablation(variants)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ablation on the %d-variant vulcanization case\n", variants)
+	fmt.Print(bench.FormatAblation(rows, rawM, rawA))
+	return nil
+}

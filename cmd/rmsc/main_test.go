@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testModel = `
+species A = "[CH3:1][CH3:2]" init 1.0
+reaction Decompose {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_d
+}
+`
+
+func TestRunCompilesToFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "model.rdl")
+	out := filepath.Join(dir, "model.c")
+	if err := os.WriteFile(src, []byte(testModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(out, "full", "", "ode_fcn", true, true, true, true, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(c), "void ode_fcn(") {
+		t.Errorf("output:\n%s", c)
+	}
+}
+
+func TestRunOptLevels(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "model.rdl")
+	if err := os.WriteFile(src, []byte(testModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []string{"none", "simplify", "paper", "full"} {
+		out := filepath.Join(dir, level+".c")
+		if err := run(out, level, "", "f", false, false, false, false, []string{src}); err != nil {
+			t.Errorf("-opt %s: %v", level, err)
+		}
+	}
+	if err := run("", "bogus", "", "f", false, false, false, false, []string{src}); err == nil {
+		t.Error("unknown opt level accepted")
+	}
+}
+
+func TestRunWithRCIP(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "model.rdl")
+	rcip := filepath.Join(dir, "rates.rcip")
+	out := filepath.Join(dir, "model.c")
+	os.WriteFile(src, []byte(testModel), 0o644)
+	os.WriteFile(rcip, []byte("K_d = 3"), 0o644)
+	if err := run(out, "full", rcip, "f", false, false, false, false, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "full", "", "f", false, false, false, false, []string{"/nonexistent.rdl"}); err == nil {
+		t.Error("missing source accepted")
+	}
+	if err := run("", "full", "", "f", false, false, false, false, []string{"a", "b"}); err == nil {
+		t.Error("two sources accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.rdl")
+	os.WriteFile(bad, []byte("species ="), 0o644)
+	if err := run("", "full", "", "f", false, false, false, false, []string{bad}); err == nil {
+		t.Error("bad source accepted")
+	}
+	src := filepath.Join(dir, "ok.rdl")
+	os.WriteFile(src, []byte(testModel), 0o644)
+	if err := run("", "full", "/nonexistent.rcip", "f", false, false, false, false, []string{src}); err == nil {
+		t.Error("missing rcip accepted")
+	}
+}

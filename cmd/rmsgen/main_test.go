@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rms/internal/dataset"
+)
+
+func TestGenerateAssets(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(9, 3, 80, dir, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"model_opt.c", "model_raw.c"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s missing: %v", name, err)
+		}
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "exp*.dat"))
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("data files = %d (%v), want 3", len(paths), err)
+	}
+	f, err := dataset.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecords() < 32 {
+		t.Errorf("records = %d", f.NumRecords())
+	}
+	// The property curve rises from zero: crosslinks accumulate.
+	if f.Records[0].Value > f.Records[f.NumRecords()-1].Value {
+		t.Error("crosslink curve not rising")
+	}
+}
+
+func TestGenerateRejectsTinyModel(t *testing.T) {
+	if err := run(2, 1, 50, t.TempDir(), 1.0); err == nil {
+		t.Error("variants < 8 accepted")
+	}
+}

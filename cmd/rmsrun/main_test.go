@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"rms/internal/dataset"
+)
+
+func TestRunEstimation(t *testing.T) {
+	dir := t.TempDir()
+	// Synthesize three small files with a plausible rising curve.
+	curve := func(tt float64) float64 { return 1 - 1/(1+tt) }
+	for i := 0; i < 3; i++ {
+		f := dataset.Synthesize(curve, dataset.SynthesizeOptions{
+			Name:    fmt.Sprintf("exp%02d.dat", i+1),
+			Records: 40 + 15*i,
+			T0:      0, T1: 1,
+			Seed: int64(i),
+		})
+		if err := f.WriteFile(filepath.Join(dir, f.Name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A short run must complete without error; recovery quality is covered
+	// by the estimator and integration tests.
+	if err := run(9, dir, 2, true, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingData(t *testing.T) {
+	if err := run(9, t.TempDir(), 1, false, 1, 1); err == nil {
+		t.Error("empty data dir accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const simModel = `
+species A = "[CH3:1][CH3:2]" init 1.0
+reaction Decompose {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_d
+}
+`
+
+func writeInputs(t *testing.T) (model, rates string) {
+	t.Helper()
+	dir := t.TempDir()
+	model = filepath.Join(dir, "m.rdl")
+	rates = filepath.Join(dir, "r.rcip")
+	if err := os.WriteFile(model, []byte(simModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rates, []byte("K_d = 2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return model, rates
+}
+
+func TestSimulateCSV(t *testing.T) {
+	model, rates := writeInputs(t)
+	for _, solver := range []string{"adams-gear", "runge-kutta"} {
+		var buf bytes.Buffer
+		if err := run(&buf, rates, 1, 11, solver, 1e-9, 1e-12, []string{model}); err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 12 {
+			t.Fatalf("%s: %d lines", solver, len(lines))
+		}
+		if !strings.HasPrefix(lines[0], "t,A,") {
+			t.Errorf("header = %q", lines[0])
+		}
+		// Final [A] = e^{-2·1}.
+		last := strings.Split(lines[len(lines)-1], ",")
+		a, err := strconv.ParseFloat(last[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-math.Exp(-2)) > 1e-6 {
+			t.Errorf("%s: [A](1) = %v, want %v", solver, a, math.Exp(-2))
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	model, rates := writeInputs(t)
+	var buf bytes.Buffer
+	if err := run(&buf, "", 1, 10, "adams-gear", 1e-8, 1e-11, []string{model}); err == nil {
+		t.Error("missing rcip accepted")
+	}
+	if err := run(&buf, rates, 1, 1, "adams-gear", 1e-8, 1e-11, []string{model}); err == nil {
+		t.Error("points < 2 accepted")
+	}
+	if err := run(&buf, rates, -1, 10, "adams-gear", 1e-8, 1e-11, []string{model}); err == nil {
+		t.Error("negative tend accepted")
+	}
+	if err := run(&buf, rates, 1, 10, "euler", 1e-8, 1e-11, []string{model}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	if err := run(&buf, rates, 1, 10, "adams-gear", 1e-8, 1e-11, nil); err == nil {
+		t.Error("no model accepted")
+	}
+}

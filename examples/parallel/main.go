@@ -1,0 +1,33 @@
+// Parallel objective function: the paper's Fig. 9 MPI pattern. Sixteen
+// experimental data files of unequal size are distributed over simulated
+// MPI ranks; each rank solves the stiff ODE system across its files'
+// time grids and two AllReduce operations combine the global error vector
+// and the per-file solve times. The run compares static block
+// distribution against the dynamic load balancing algorithm across rank
+// counts — Table 2's experiment.
+//
+//	go run ./examples/parallel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rms/internal/bench"
+)
+
+func main() {
+	rows, err := bench.Table2(bench.Table2Config{
+		Variants: 12,
+		Files:    16,
+		Records:  250,
+		Calls:    3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parallel objective over 16 unequal data files")
+	fmt.Println("(modeled parallel time = slowest rank's total solve time per call)")
+	fmt.Println()
+	fmt.Print(bench.FormatTable2(rows))
+}

@@ -1,0 +1,3 @@
+module rms
+
+go 1.22

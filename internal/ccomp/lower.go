@@ -1,0 +1,230 @@
+package ccomp
+
+import (
+	"fmt"
+
+	"rms/internal/codegen"
+)
+
+// lower turns a parsed function into an executable tape. vnWindow > 0
+// enables local value numbering: structurally identical pure operations
+// within the window reuse the earlier result. Every instruction writes a
+// fresh slot, so values are immutable and numbering needs no invalidation;
+// the window bounds the table size the way -qmaxmem bounds xlc's
+// optimizer workspace.
+func lower(fn *cFunc, vnWin int) (*codegen.Program, int, error) {
+	lw := &lowerer{fn: fn, constSlot: make(map[float64]int32)}
+	if err := lw.scanShapes(); err != nil {
+		return nil, 0, err
+	}
+	// Constant pool first so the [consts | y | k | scratch] layout is fixed.
+	var collect func(e cExpr)
+	collect = func(e cExpr) {
+		switch x := e.(type) {
+		case numExpr:
+			lw.internConst(float64(x))
+		case negExpr:
+			collect(x.x)
+		case binExpr:
+			collect(x.l)
+			collect(x.r)
+		}
+	}
+	for _, st := range fn.stmts {
+		collect(st.value)
+	}
+	lw.prog = &codegen.Program{
+		NumY:   lw.numY,
+		NumK:   lw.numK,
+		Consts: lw.consts,
+		Out:    make([]int32, lw.numY),
+	}
+	lw.next = int32(len(lw.consts) + lw.numY + lw.numK)
+	lw.tempSlots = make([]int32, fn.tempSize)
+	for i := range lw.tempSlots {
+		lw.tempSlots[i] = -1
+	}
+	for i := range lw.prog.Out {
+		lw.prog.Out[i] = -1
+	}
+	if vnWin > 0 {
+		lw.vn = make(map[vnKey]int32)
+		lw.vnWin = vnWin
+	}
+	for _, st := range fn.stmts {
+		slot, err := lw.emit(st.value)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ccomp:%d: %w", st.line, err)
+		}
+		switch st.target.array {
+		case "temp":
+			if st.target.index >= len(lw.tempSlots) {
+				return nil, 0, fmt.Errorf("ccomp:%d: temp[%d] exceeds declared size %d",
+					st.line, st.target.index, fn.tempSize)
+			}
+			lw.tempSlots[st.target.index] = slot
+		case "yprime":
+			lw.prog.Out[st.target.index] = slot
+		}
+	}
+	for i, s := range lw.prog.Out {
+		if s < 0 {
+			return nil, 0, fmt.Errorf("ccomp: yprime[%d] never assigned", i)
+		}
+	}
+	lw.prog.NumSlots = int(lw.next)
+	return lw.prog, len(lw.prog.Code), nil
+}
+
+type vnKey struct {
+	op   codegen.OpCode
+	a, b int32
+}
+
+type lowerer struct {
+	fn        *cFunc
+	prog      *codegen.Program
+	consts    []float64
+	constSlot map[float64]int32
+	tempSlots []int32
+	numY      int
+	numK      int
+	next      int32
+	vn        map[vnKey]int32
+	vnWin     int
+	emitted   int
+}
+
+// scanShapes sizes the y and k arrays from the largest index referenced.
+func (lw *lowerer) scanShapes() error {
+	maxY, maxK := -1, -1
+	var walk func(e cExpr) error
+	walk = func(e cExpr) error {
+		switch x := e.(type) {
+		case refExpr:
+			switch x.array {
+			case "y":
+				if x.index > maxY {
+					maxY = x.index
+				}
+			case "k":
+				if x.index > maxK {
+					maxK = x.index
+				}
+			}
+		case negExpr:
+			return walk(x.x)
+		case binExpr:
+			if err := walk(x.l); err != nil {
+				return err
+			}
+			return walk(x.r)
+		}
+		return nil
+	}
+	for _, st := range lw.fn.stmts {
+		if st.target.array == "yprime" && st.target.index > maxY {
+			maxY = st.target.index
+		}
+		if err := walk(st.value); err != nil {
+			return err
+		}
+	}
+	if maxY < 0 {
+		return fmt.Errorf("ccomp: function computes no yprime entries")
+	}
+	lw.numY = maxY + 1
+	lw.numK = maxK + 1
+	return nil
+}
+
+func (lw *lowerer) internConst(v float64) int32 {
+	if s, ok := lw.constSlot[v]; ok {
+		return s
+	}
+	s := int32(len(lw.consts))
+	lw.consts = append(lw.consts, v)
+	lw.constSlot[v] = s
+	return s
+}
+
+func (lw *lowerer) fresh() int32 {
+	s := lw.next
+	lw.next++
+	return s
+}
+
+// emitOp appends one instruction, consulting the value-numbering table.
+func (lw *lowerer) emitOp(op codegen.OpCode, a, b int32) int32 {
+	key := vnKey{op: op, a: a, b: b}
+	if op == codegen.OpAdd || op == codegen.OpMul {
+		if a > b { // commutative normalization
+			key.a, key.b = b, a
+		}
+	}
+	if lw.vn != nil {
+		if s, ok := lw.vn[key]; ok {
+			return s
+		}
+	}
+	dst := lw.fresh()
+	lw.prog.Code = append(lw.prog.Code, codegen.Instr{Op: op, Dst: dst, A: a, B: b})
+	lw.emitted++
+	if lw.vn != nil {
+		lw.vn[key] = dst
+		if lw.emitted%lw.vnWin == 0 {
+			// Window exhausted: forget prior numbers, as a bounded-memory
+			// optimizer must on oversized basic blocks.
+			lw.vn = make(map[vnKey]int32)
+		}
+	}
+	return dst
+}
+
+func (lw *lowerer) emit(e cExpr) (int32, error) {
+	switch x := e.(type) {
+	case numExpr:
+		return lw.constSlot[float64(x)], nil
+	case refExpr:
+		switch x.array {
+		case "y":
+			return lw.prog.YSlot(x.index), nil
+		case "k":
+			return lw.prog.KSlot(x.index), nil
+		case "temp":
+			if x.index >= len(lw.tempSlots) || lw.tempSlots[x.index] < 0 {
+				return 0, fmt.Errorf("temp[%d] read before assignment", x.index)
+			}
+			return lw.tempSlots[x.index], nil
+		}
+		return 0, fmt.Errorf("unknown array %q", x.array)
+	case negExpr:
+		s, err := lw.emit(x.x)
+		if err != nil {
+			return 0, err
+		}
+		return lw.emitOp(codegen.OpNeg, s, 0), nil
+	case binExpr:
+		l, err := lw.emit(x.l)
+		if err != nil {
+			return 0, err
+		}
+		r, err := lw.emit(x.r)
+		if err != nil {
+			return 0, err
+		}
+		var op codegen.OpCode
+		switch x.op {
+		case '+':
+			op = codegen.OpAdd
+		case '-':
+			op = codegen.OpSub
+		case '*':
+			op = codegen.OpMul
+		case '/':
+			op = codegen.OpDiv
+		}
+		return lw.emitOp(op, l, r), nil
+	}
+	return 0, fmt.Errorf("unknown expression %T", e)
+}

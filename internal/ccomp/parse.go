@@ -1,0 +1,400 @@
+package ccomp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The C-subset front end: a single void function whose body is a
+// sequence of `double temp[N];` declarations and straight-line
+// assignments to temp[i] / yprime[i] with expressions over y[i], k[i],
+// temp[i], literals, parentheses, unary minus and the four binary
+// operators.
+
+type cFunc struct {
+	name     string
+	tempSize int
+	stmts    []cStmt
+}
+
+type cRef struct {
+	array string
+	index int
+}
+
+type cStmt struct {
+	target cRef
+	value  cExpr
+	line   int
+}
+
+type cExpr interface {
+	countOps() int
+}
+
+type numExpr float64
+
+type refExpr cRef
+
+type negExpr struct{ x cExpr }
+
+type binExpr struct {
+	op   byte // '+', '-', '*', '/'
+	l, r cExpr
+}
+
+func (numExpr) countOps() int   { return 0 }
+func (refExpr) countOps() int   { return 0 }
+func (n negExpr) countOps() int { return n.x.countOps() }
+func (b binExpr) countOps() int { return 1 + b.l.countOps() + b.r.countOps() }
+
+func (f *cFunc) countOps() int {
+	n := 0
+	for _, s := range f.stmts {
+		n += s.value.countOps()
+	}
+	return n
+}
+
+// ---- lexer ----
+
+type cToken struct {
+	kind byte // 'i' ident, 'n' number, or the literal punctuation byte; 0 EOF
+	text string
+	num  float64
+	line int
+}
+
+type cLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (l *cLexer) error(format string, args ...any) error {
+	return fmt.Errorf("ccomp:%d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *cLexer) next() (cToken, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return cToken{}, l.error("unterminated comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto token
+		}
+	}
+	return cToken{kind: 0, line: l.line}, nil
+token:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+				l.pos++
+			} else {
+				break
+			}
+		}
+		return cToken{kind: 'i', text: l.src[start:l.pos], line: l.line}, nil
+	case c >= '0' && c <= '9', c == '.':
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' {
+				l.pos++
+				if (c == 'e' || c == 'E') && l.pos < len(l.src) &&
+					(l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return cToken{}, l.error("malformed number %q", text)
+		}
+		return cToken{kind: 'n', num: v, line: l.line}, nil
+	}
+	l.pos++
+	switch c {
+	case '(', ')', '{', '}', '[', ']', ';', ',', '=', '+', '-', '*', '/':
+		return cToken{kind: c, line: l.line}, nil
+	}
+	return cToken{}, l.error("unexpected character %q", string(c))
+}
+
+// ---- parser ----
+
+type cParser struct {
+	lex *cLexer
+	tok cToken
+}
+
+func parse(src string) (*cFunc, error) {
+	p := &cParser{lex: &cLexer{src: src, line: 1}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.function()
+}
+
+func (p *cParser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *cParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("ccomp:%d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *cParser) expect(kind byte, what string) error {
+	if p.tok.kind != kind {
+		return p.errorf("expected %s", what)
+	}
+	return p.advance()
+}
+
+func (p *cParser) expectIdent(word string) error {
+	if p.tok.kind != 'i' || p.tok.text != word {
+		return p.errorf("expected %q", word)
+	}
+	return p.advance()
+}
+
+func (p *cParser) function() (*cFunc, error) {
+	if err := p.expectIdent("void"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != 'i' {
+		return nil, p.errorf("expected function name")
+	}
+	f := &cFunc{name: p.tok.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect('(', "'('"); err != nil {
+		return nil, err
+	}
+	// The parameter list is fixed by the code generator; skip it loosely.
+	depth := 1
+	for depth > 0 {
+		switch p.tok.kind {
+		case 0:
+			return nil, p.errorf("unterminated parameter list")
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect('{', "'{'"); err != nil {
+		return nil, err
+	}
+	// Declarations.
+	for p.tok.kind == 'i' && p.tok.text == "double" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != 'i' {
+			return nil, p.errorf("expected declared array name")
+		}
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect('[', "'['"); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != 'n' {
+			return nil, p.errorf("expected array size")
+		}
+		size := int(p.tok.num)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(']', "']'"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(';', "';'"); err != nil {
+			return nil, err
+		}
+		if name != "temp" {
+			return nil, p.errorf("unsupported local array %q (only temp)", name)
+		}
+		f.tempSize = size
+	}
+	// Statements.
+	for p.tok.kind != '}' {
+		if p.tok.kind == 0 {
+			return nil, p.errorf("unterminated function body")
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		f.stmts = append(f.stmts, st)
+	}
+	return f, nil
+}
+
+func (p *cParser) statement() (cStmt, error) {
+	line := p.tok.line
+	target, err := p.arrayRef()
+	if err != nil {
+		return cStmt{}, err
+	}
+	if target.array != "temp" && target.array != "yprime" {
+		return cStmt{}, p.errorf("cannot assign to %s[]", target.array)
+	}
+	if err := p.expect('=', "'='"); err != nil {
+		return cStmt{}, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return cStmt{}, err
+	}
+	if err := p.expect(';', "';'"); err != nil {
+		return cStmt{}, err
+	}
+	return cStmt{target: target, value: e, line: line}, nil
+}
+
+func (p *cParser) arrayRef() (cRef, error) {
+	if p.tok.kind != 'i' {
+		return cRef{}, p.errorf("expected array reference")
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return cRef{}, err
+	}
+	if err := p.expect('[', "'['"); err != nil {
+		return cRef{}, err
+	}
+	if p.tok.kind != 'n' {
+		return cRef{}, p.errorf("expected array index")
+	}
+	idx := int(p.tok.num)
+	if idx < 0 {
+		return cRef{}, p.errorf("negative array index")
+	}
+	if err := p.advance(); err != nil {
+		return cRef{}, err
+	}
+	if err := p.expect(']', "']'"); err != nil {
+		return cRef{}, err
+	}
+	return cRef{array: name, index: idx}, nil
+}
+
+func (p *cParser) expr() (cExpr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == '+' || p.tok.kind == '-' {
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *cParser) term() (cExpr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == '*' || p.tok.kind == '/' {
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *cParser) unary() (cExpr, error) {
+	if p.tok.kind == '-' {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return negExpr{x: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *cParser) primary() (cExpr, error) {
+	switch p.tok.kind {
+	case 'n':
+		v := p.tok.num
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return numExpr(v), nil
+	case '(':
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')', "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case 'i':
+		ref, err := p.arrayRef()
+		if err != nil {
+			return nil, err
+		}
+		switch ref.array {
+		case "y", "k", "temp":
+			return refExpr(ref), nil
+		}
+		return nil, p.errorf("unknown array %q in expression", ref.array)
+	}
+	return nil, p.errorf("expected expression")
+}

@@ -1,0 +1,93 @@
+// Package chem is the molecule-manipulation substrate of the Reaction
+// Modeling Suite. It stands in for the SMILES Java classes / Chemistry
+// Development Kit the paper's chemical compiler uses: molecular graphs, a
+// SMILES-subset reader and writer, Morgan-style canonicalization (so
+// species produced by different reaction paths unify), and the primitive
+// graph edits behind the six RDL reaction rules (connect, disconnect,
+// increase/decrease bond order, add/remove hydrogen).
+package chem
+
+import "fmt"
+
+// Element is a chemical element symbol ("C", "S", "Zn", ...).
+type Element string
+
+// Organic-subset elements may be written bare in SMILES; all others need
+// brackets.
+var organicSubset = map[Element]bool{
+	"B": true, "C": true, "N": true, "O": true, "P": true, "S": true,
+	"F": true, "Cl": true, "Br": true, "I": true,
+}
+
+// defaultValences lists the allowed valences per element, smallest first.
+// Implicit hydrogen counts use the smallest valence that accommodates the
+// atom's bond-order sum; sulfur's 2/4/6 ladder matters for rubber
+// chemistry's polysulfidic species.
+var defaultValences = map[Element][]int{
+	"H": {1}, "B": {3}, "C": {4}, "N": {3, 5}, "O": {2},
+	"P": {3, 5}, "S": {2, 4, 6}, "F": {1}, "Cl": {1}, "Br": {1}, "I": {1},
+	"Zn": {2}, "Na": {1}, "K": {1},
+}
+
+// KnownElement reports whether the suite knows a valence model for e.
+func KnownElement(e Element) bool {
+	_, ok := defaultValences[e]
+	return ok
+}
+
+// Atom is one vertex of a molecular graph.
+type Atom struct {
+	Element Element
+	// Hs is the number of attached hydrogen atoms, kept implicit rather
+	// than as graph vertices (as SMILES does).
+	Hs int
+	// Charge is the formal charge.
+	Charge int
+	// Class is the optional atom-class label from SMILES ([S:2]); RDL
+	// reaction rules use classes to address reaction sites.
+	Class int
+}
+
+// freeValence returns the number of unpaired bonding electrons on the atom
+// given its current bond-order sum: valence - bonds - Hs against the
+// smallest standard valence that fits. A positive result marks a radical
+// site, which is how rubber-chemistry radicals (R·, RS·) are represented.
+func (a Atom) freeValence(bondSum int) int {
+	vals, ok := defaultValences[a.Element]
+	if !ok {
+		return 0
+	}
+	used := bondSum + a.Hs
+	for _, v := range vals {
+		if v >= used {
+			return v - used
+		}
+	}
+	return 0
+}
+
+// implicitHs returns the hydrogen count that fills the smallest standard
+// valence for an organic-subset atom with the given bond-order sum.
+func implicitHs(e Element, bondSum int) int {
+	vals, ok := defaultValences[e]
+	if !ok {
+		return 0
+	}
+	for _, v := range vals {
+		if v >= bondSum {
+			return v - bondSum
+		}
+	}
+	return 0
+}
+
+func (a Atom) String() string {
+	s := string(a.Element)
+	if a.Hs > 0 {
+		s += fmt.Sprintf("H%d", a.Hs)
+	}
+	if a.Charge != 0 {
+		s += fmt.Sprintf("%+d", a.Charge)
+	}
+	return s
+}

@@ -1,0 +1,300 @@
+package chem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// canonicalRanks computes a canonical atom ordering with a Morgan-style
+// iterative refinement: atoms start with an invariant built from local
+// properties, then repeatedly absorb sorted neighbor ranks until the
+// partition stabilizes; remaining ties are broken deterministically by
+// artificially distinguishing one member of the first tied cell and
+// re-refining (the standard canonical-labeling device). The result maps
+// each atom to a dense rank; equal molecules (up to graph isomorphism over
+// our invariants) receive identical rank structures.
+func canonicalRanks(m *Molecule) []int {
+	n := len(m.Atoms)
+	if n == 0 {
+		return nil
+	}
+	// Initial invariant string per atom.
+	inv := make([]string, n)
+	for i, a := range m.Atoms {
+		inv[i] = fmt.Sprintf("%s|%d|%d|%d|%d|%d",
+			a.Element, a.Hs, a.Charge, a.Class, len(m.Neighbors(i)), m.BondOrderSum(i))
+	}
+	ranks := denseRanks(inv)
+
+	adj := make([][]Bond, n)
+	for _, b := range m.Bonds {
+		adj[b.A] = append(adj[b.A], b)
+		adj[b.B] = append(adj[b.B], b)
+	}
+
+	refine := func(r []int) []int {
+		for {
+			next := make([]string, n)
+			for i := range next {
+				var nb []string
+				for _, b := range adj[i] {
+					nb = append(nb, fmt.Sprintf("%d:%d", b.Order, r[b.Other(i)]))
+				}
+				sort.Strings(nb)
+				next[i] = fmt.Sprintf("%d|%s", r[i], strings.Join(nb, ","))
+			}
+			nr := denseRanks(next)
+			if countDistinct(nr) == countDistinct(r) {
+				return nr
+			}
+			r = nr
+		}
+	}
+	ranks = refine(ranks)
+
+	// Tie-breaking until all ranks distinct.
+	for countDistinct(ranks) < n {
+		// Find the first tied cell (smallest rank value with >1 member),
+		// promote its lowest-index member.
+		byRank := make(map[int][]int)
+		for i, r := range ranks {
+			byRank[r] = append(byRank[r], i)
+		}
+		var rankVals []int
+		for r := range byRank {
+			rankVals = append(rankVals, r)
+		}
+		sort.Ints(rankVals)
+		for _, r := range rankVals {
+			cell := byRank[r]
+			if len(cell) > 1 {
+				sort.Ints(cell)
+				// Promote: shift all ranks >= r up by one, give cell[0] rank r,
+				// leave the rest at r+1.
+				for i := range ranks {
+					if ranks[i] > r || (ranks[i] == r && i != cell[0]) {
+						ranks[i]++
+					}
+				}
+				break
+			}
+		}
+		ranks = refine(ranks)
+	}
+	return ranks
+}
+
+func denseRanks(keys []string) []int {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	pos := make(map[string]int, len(sorted))
+	d := 0
+	for i, k := range sorted {
+		if i == 0 || k != sorted[i-1] {
+			pos[k] = d
+			d++
+		}
+	}
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = pos[k]
+	}
+	return out
+}
+
+func countDistinct(r []int) int {
+	seen := make(map[int]bool, len(r))
+	for _, v := range r {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+// Canonical returns the canonical SMILES of the molecule. Two molecules
+// that are the same chemical species (same graph, hydrogens, charges,
+// classes) produce the same string, which the reaction-network generator
+// uses as species identity. Disconnected parts are each canonicalized and
+// joined with '.' in sorted order.
+func (m *Molecule) Canonical() string {
+	frags := m.Fragments()
+	if len(frags) == 0 {
+		return ""
+	}
+	if len(frags) == 1 {
+		return writeCanonicalFragment(frags[0])
+	}
+	parts := make([]string, len(frags))
+	for i, f := range frags {
+		parts[i] = writeCanonicalFragment(f)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ".")
+}
+
+// SMILES is an alias of Canonical; the writer always emits canonical form.
+func (m *Molecule) SMILES() string { return m.Canonical() }
+
+// writeCanonicalFragment emits one connected component as canonical SMILES.
+func writeCanonicalFragment(m *Molecule) string {
+	n := len(m.Atoms)
+	if n == 0 {
+		return ""
+	}
+	ranks := canonicalRanks(m)
+
+	// Root: the atom with the smallest canonical rank.
+	root := 0
+	for i := 1; i < n; i++ {
+		if ranks[i] < ranks[root] {
+			root = i
+		}
+	}
+
+	adj := make([][]Bond, n)
+	for _, b := range m.Bonds {
+		adj[b.A] = append(adj[b.A], b)
+		adj[b.B] = append(adj[b.B], b)
+	}
+	for i := range adj {
+		bs := adj[i]
+		sort.Slice(bs, func(x, y int) bool { return ranks[bs[x].Other(i)] < ranks[bs[y].Other(i)] })
+	}
+
+	// DFS assigning ring-closure numbers to back edges.
+	visited := make([]bool, n)
+	inSpanning := make(map[[2]int]bool) // edges used by the DFS tree
+	type ringUse struct {
+		num   int
+		order int
+	}
+	ringAt := make(map[int][]ringUse) // atom -> ring closures to print
+	nextRing := 1
+
+	// First pass: walk the DFS to discover back edges.
+	var discover func(v, parent int)
+	discover = func(v, parent int) {
+		visited[v] = true
+		for _, b := range adj[v] {
+			w := b.Other(v)
+			if w == parent {
+				continue
+			}
+			if visited[w] {
+				key := edgeKey(v, w)
+				if !inSpanning[key] {
+					inSpanning[key] = true // mark back edge handled
+					num := nextRing
+					nextRing++
+					ringAt[v] = append(ringAt[v], ringUse{num: num, order: b.Order})
+					ringAt[w] = append(ringAt[w], ringUse{num: num, order: b.Order})
+				}
+				continue
+			}
+			inSpanning[edgeKey(v, w)] = true
+			discover(w, v)
+		}
+	}
+	discover(root, -1)
+
+	// Second pass: emit.
+	for i := range visited {
+		visited[i] = false
+	}
+	var emit func(v, parent int, viaOrder int, sb *strings.Builder)
+	emit = func(v, parent, viaOrder int, sb *strings.Builder) {
+		visited[v] = true
+		if viaOrder == 2 {
+			sb.WriteByte('=')
+		} else if viaOrder == 3 {
+			sb.WriteByte('#')
+		}
+		sb.WriteString(atomSMILES(m, v))
+		for _, r := range ringAt[v] {
+			if r.order == 2 {
+				sb.WriteByte('=')
+			} else if r.order == 3 {
+				sb.WriteByte('#')
+			}
+			if r.num > 9 {
+				fmt.Fprintf(sb, "%%%02d", r.num)
+			} else {
+				fmt.Fprintf(sb, "%d", r.num)
+			}
+		}
+		var kids []Bond
+		for _, b := range adj[v] {
+			w := b.Other(v)
+			if w != parent && !visited[w] {
+				kids = append(kids, b)
+			}
+		}
+		for i, b := range kids {
+			w := b.Other(v)
+			if visited[w] {
+				continue // reached via an earlier child subtree (ring)
+			}
+			last := true
+			for _, b2 := range kids[i+1:] {
+				if !visited[b2.Other(v)] {
+					last = false
+					break
+				}
+			}
+			if !last {
+				sb.WriteByte('(')
+				emit(w, v, b.Order, sb)
+				sb.WriteByte(')')
+			} else {
+				emit(w, v, b.Order, sb)
+			}
+		}
+	}
+	var sb strings.Builder
+	emit(root, -1, 0, &sb)
+	return sb.String()
+}
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// atomSMILES writes one atom, using the bare organic-subset form whenever
+// the implicit-hydrogen rule would reconstruct the stored hydrogen count,
+// and a bracket atom otherwise.
+func atomSMILES(m *Molecule, i int) string {
+	a := m.Atoms[i]
+	bare := organicSubset[a.Element] &&
+		a.Charge == 0 && a.Class == 0 &&
+		a.Hs == implicitHs(a.Element, m.BondOrderSum(i))
+	if bare {
+		return string(a.Element)
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	sb.WriteString(string(a.Element))
+	if a.Hs == 1 {
+		sb.WriteByte('H')
+	} else if a.Hs > 1 {
+		fmt.Fprintf(&sb, "H%d", a.Hs)
+	}
+	if a.Charge > 0 {
+		sb.WriteByte('+')
+		if a.Charge > 1 {
+			fmt.Fprintf(&sb, "%d", a.Charge)
+		}
+	} else if a.Charge < 0 {
+		sb.WriteByte('-')
+		if a.Charge < -1 {
+			fmt.Fprintf(&sb, "%d", -a.Charge)
+		}
+	}
+	if a.Class != 0 {
+		fmt.Fprintf(&sb, ":%d", a.Class)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

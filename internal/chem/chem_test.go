@@ -1,0 +1,409 @@
+package chem
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseImplicitHydrogens(t *testing.T) {
+	cases := []struct {
+		smiles string
+		atom   int
+		wantHs int
+	}{
+		{"C", 0, 4},
+		{"CC", 0, 3},
+		{"C=C", 0, 2},
+		{"C#C", 0, 1},
+		{"S", 0, 2},
+		{"CS", 1, 1},
+		{"CSC", 1, 0},
+		{"O", 0, 2},
+		{"Cl", 0, 1},
+	}
+	for _, c := range cases {
+		m := MustParseSMILES(c.smiles)
+		if got := m.Atoms[c.atom].Hs; got != c.wantHs {
+			t.Errorf("%q atom %d: Hs = %d, want %d", c.smiles, c.atom, got, c.wantHs)
+		}
+	}
+}
+
+func TestParseBracketAtoms(t *testing.T) {
+	m := MustParseSMILES("[CH2]")
+	if m.Atoms[0].Hs != 2 {
+		t.Errorf("[CH2] Hs = %d, want 2", m.Atoms[0].Hs)
+	}
+	if fv := m.FreeValence(0); fv != 2 {
+		t.Errorf("[CH2] free valence = %d, want 2", fv)
+	}
+	m = MustParseSMILES("[S:3]([CH3])[CH3]")
+	if m.Atoms[0].Class != 3 {
+		t.Errorf("class = %d, want 3", m.Atoms[0].Class)
+	}
+	m = MustParseSMILES("[NH4+]")
+	if m.Atoms[0].Charge != 1 || m.Atoms[0].Hs != 4 {
+		t.Errorf("[NH4+] = %+v", m.Atoms[0])
+	}
+	m = MustParseSMILES("[O-2]")
+	if m.Atoms[0].Charge != -2 {
+		t.Errorf("[O-2] charge = %d, want -2", m.Atoms[0].Charge)
+	}
+}
+
+func TestParseRings(t *testing.T) {
+	m := MustParseSMILES("C1CCCCC1") // cyclohexane
+	if len(m.Atoms) != 6 || len(m.Bonds) != 6 {
+		t.Fatalf("cyclohexane: %d atoms, %d bonds", len(m.Atoms), len(m.Bonds))
+	}
+	for i := range m.Atoms {
+		if m.Atoms[i].Hs != 2 {
+			t.Errorf("ring carbon %d Hs = %d, want 2", i, m.Atoms[i].Hs)
+		}
+	}
+	// %nn ring numbers.
+	m = MustParseSMILES("C%10CC%10")
+	if len(m.Bonds) != 3 {
+		t.Errorf("%%nn ring: %d bonds, want 3", len(m.Bonds))
+	}
+}
+
+func TestParseBranchesAndBonds(t *testing.T) {
+	m := MustParseSMILES("CC(=O)O") // acetic acid
+	if len(m.Atoms) != 4 {
+		t.Fatalf("atoms = %d, want 4", len(m.Atoms))
+	}
+	b, ok := m.BondBetween(1, 2)
+	if !ok || b.Order != 2 {
+		t.Errorf("C=O bond = %+v ok=%v, want order 2", b, ok)
+	}
+	if m.Formula() != "C2H4O2" {
+		t.Errorf("formula = %q, want C2H4O2", m.Formula())
+	}
+}
+
+func TestParseDisconnected(t *testing.T) {
+	m := MustParseSMILES("C.C")
+	frags := m.Fragments()
+	if len(frags) != 2 {
+		t.Fatalf("fragments = %d, want 2", len(frags))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "c1ccccc1", "C(", "C)", "C1CC", "[Xx]", "[C", "1CC1", "(C)C",
+		"C%1C", "[S:]", "CQ",
+	}
+	for _, s := range bad {
+		if _, err := ParseSMILES(s); err == nil {
+			t.Errorf("ParseSMILES(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestCanonicalIsomorphicInputs(t *testing.T) {
+	pairs := [][2]string{
+		{"CCO", "OCC"},
+		{"CC(C)C", "C(C)(C)C"},
+		{"CSSC", "C(SSC)"},
+		{"C1CCCCC1", "C2CCCCC2"},
+		{"CC(=O)O", "OC(=O)C"},
+		{"CSSSSC", "CSSSSC"},
+	}
+	for _, p := range pairs {
+		a := MustParseSMILES(p[0]).Canonical()
+		b := MustParseSMILES(p[1]).Canonical()
+		if a != b {
+			t.Errorf("canonical(%q) = %q != canonical(%q) = %q", p[0], a, p[1], b)
+		}
+	}
+}
+
+func TestCanonicalDistinguishes(t *testing.T) {
+	pairs := [][2]string{
+		{"CCO", "CCS"},
+		{"CC(C)C", "CCCC"},
+		{"C=C", "CC"},
+		{"[CH2]C", "CC"},   // radical vs ethane
+		{"[S:1]CC", "SCC"}, // class label is part of identity
+		{"CSSC", "CSC"},
+	}
+	for _, p := range pairs {
+		a := MustParseSMILES(p[0]).Canonical()
+		b := MustParseSMILES(p[1]).Canonical()
+		if a == b {
+			t.Errorf("canonical(%q) == canonical(%q) == %q, want distinct", p[0], p[1], a)
+		}
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	inputs := []string{
+		"C", "CC", "CCO", "C1CCCCC1", "CC(=O)O", "CSSSSC", "[CH2]CS",
+		"C(F)(Cl)Br", "C.C", "[NH4+]", "CC(C)(C)SS[CH2]",
+	}
+	for _, s := range inputs {
+		c1 := MustParseSMILES(s).Canonical()
+		m2, err := ParseSMILES(c1)
+		if err != nil {
+			t.Errorf("canonical form %q of %q does not re-parse: %v", c1, s, err)
+			continue
+		}
+		if c2 := m2.Canonical(); c2 != c1 {
+			t.Errorf("round trip of %q: %q -> %q", s, c1, c2)
+		}
+	}
+}
+
+func TestConnectDisconnect(t *testing.T) {
+	m := MustParseSMILES("[CH3].[CH3]") // two methyl radicals
+	if err := m.Connect(0, 1, 1); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if got, want := m.Canonical(), MustParseSMILES("[CH3][CH3]").Canonical(); got != want {
+		t.Errorf("connected = %q, want %q", got, want)
+	}
+	if err := m.Disconnect(0, 1); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	if len(m.Fragments()) != 2 {
+		t.Error("disconnect did not split the molecule")
+	}
+	if err := m.Disconnect(0, 1); err == nil {
+		t.Error("double disconnect should fail")
+	}
+}
+
+func TestConnectValenceGuard(t *testing.T) {
+	m := MustParseSMILES("C.C") // two methanes, no free valence
+	if err := m.Connect(0, 1, 1); err == nil {
+		t.Error("Connect on saturated carbons should fail")
+	}
+	m2 := MustParseSMILES("[CH3].C")
+	if err := m2.Connect(0, 1, 1); err == nil {
+		t.Error("Connect needs free valence on both endpoints")
+	}
+}
+
+func TestBondOrderEdits(t *testing.T) {
+	m := MustParseSMILES("[CH2][CH2]") // diradical ethane skeleton
+	if err := m.IncreaseBondOrder(0, 1); err != nil {
+		t.Fatalf("IncreaseBondOrder: %v", err)
+	}
+	if b, _ := m.BondBetween(0, 1); b.Order != 2 {
+		t.Errorf("order = %d, want 2", b.Order)
+	}
+	if err := m.DecreaseBondOrder(0, 1); err != nil {
+		t.Fatalf("DecreaseBondOrder: %v", err)
+	}
+	if b, _ := m.BondBetween(0, 1); b.Order != 1 {
+		t.Errorf("order = %d, want 1", b.Order)
+	}
+	// Decreasing a single bond removes it.
+	if err := m.DecreaseBondOrder(0, 1); err != nil {
+		t.Fatalf("DecreaseBondOrder to zero: %v", err)
+	}
+	if _, ok := m.BondBetween(0, 1); ok {
+		t.Error("bond should be gone")
+	}
+	// Saturated ethane cannot form a double bond without losing hydrogens.
+	e := MustParseSMILES("CC")
+	if err := e.IncreaseBondOrder(0, 1); err == nil {
+		t.Error("IncreaseBondOrder on saturated ethane should fail")
+	}
+}
+
+func TestHydrogenEdits(t *testing.T) {
+	m := MustParseSMILES("C")
+	if err := m.RemoveHydrogen(0); err != nil {
+		t.Fatalf("RemoveHydrogen: %v", err)
+	}
+	if m.Atoms[0].Hs != 3 || m.FreeValence(0) != 1 {
+		t.Errorf("after abstraction: Hs=%d fv=%d", m.Atoms[0].Hs, m.FreeValence(0))
+	}
+	if err := m.AddHydrogen(0); err != nil {
+		t.Fatalf("AddHydrogen: %v", err)
+	}
+	if m.Atoms[0].Hs != 4 {
+		t.Errorf("Hs = %d, want 4", m.Atoms[0].Hs)
+	}
+	if err := m.AddHydrogen(0); err == nil {
+		t.Error("AddHydrogen past valence should fail")
+	}
+	empty := MustParseSMILES("[S]") // bare sulfur diradical, no H
+	if err := empty.RemoveHydrogen(0); err == nil {
+		t.Error("RemoveHydrogen with no H should fail")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := MustParseSMILES("[CH3]")
+	b := MustParseSMILES("[SH]")
+	off := a.Combine(b)
+	if off != 1 || len(a.Atoms) != 2 {
+		t.Fatalf("Combine: off=%d atoms=%d", off, len(a.Atoms))
+	}
+	if err := a.Connect(0, off, 1); err != nil {
+		t.Fatalf("Connect after Combine: %v", err)
+	}
+	if got, want := a.Canonical(), MustParseSMILES("CS").Canonical(); got != want {
+		t.Errorf("methanethiol = %q, want %q", got, want)
+	}
+}
+
+func TestFormulaAndCounts(t *testing.T) {
+	m := MustParseSMILES("CSSSSC") // dimethyl tetrasulfide
+	if got := m.CountElement("S"); got != 4 {
+		t.Errorf("S count = %d, want 4", got)
+	}
+	if got := m.CountElement("H"); got != 6 {
+		t.Errorf("H count = %d, want 6", got)
+	}
+	if got := m.Formula(); got != "C2H6S4" {
+		t.Errorf("formula = %q, want C2H6S4", got)
+	}
+}
+
+func TestFindClass(t *testing.T) {
+	m := MustParseSMILES("[C:1]([S:2][S:2]C)C")
+	if got := m.FindClass(2); len(got) != 2 {
+		t.Errorf("FindClass(2) = %v, want 2 atoms", got)
+	}
+	if got := m.FindClass(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("FindClass(1) = %v, want [0]", got)
+	}
+}
+
+// randomChain builds a random acyclic C/S molecule and a random
+// permutation of it, then checks canonical forms agree.
+func TestCanonicalPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		m := New()
+		for i := 0; i < n; i++ {
+			e := Element("C")
+			if rng.Intn(2) == 0 {
+				e = "S"
+			}
+			m.AddAtom(Atom{Element: e})
+		}
+		for i := 1; i < n; i++ {
+			parent := rng.Intn(i)
+			m.Bonds = append(m.Bonds, Bond{A: parent, B: i, Order: 1})
+		}
+		for i := 0; i < n; i++ {
+			m.Atoms[i].Hs = implicitHs(m.Atoms[i].Element, m.BondOrderSum(i))
+		}
+		// Permute atoms.
+		perm := rng.Perm(n)
+		p := New()
+		inv := make([]int, n)
+		for newIdx, oldIdx := range perm {
+			inv[oldIdx] = newIdx
+		}
+		for _, oldIdx := range invPerm(perm) {
+			_ = oldIdx
+		}
+		atoms := make([]Atom, n)
+		for old, a := range m.Atoms {
+			atoms[inv[old]] = a
+		}
+		p.Atoms = atoms
+		for _, b := range m.Bonds {
+			p.Bonds = append(p.Bonds, Bond{A: inv[b.A], B: inv[b.B], Order: b.Order})
+		}
+		return m.Canonical() == p.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func invPerm(p []int) []int {
+	out := make([]int, len(p))
+	for i, v := range p {
+		out[v] = i
+	}
+	return out
+}
+
+// Polysulfidic crosslink chains of every length canonicalize distinctly —
+// the property the variant mechanism in RDL depends on.
+func TestPolysulfideChainsDistinct(t *testing.T) {
+	seen := make(map[string]int)
+	for n := 1; n <= 8; n++ {
+		s := "C" + strings.Repeat("S", n) + "C"
+		c := MustParseSMILES(s).Canonical()
+		if prev, dup := seen[c]; dup {
+			t.Errorf("chain lengths %d and %d collide: %q", prev, n, c)
+		}
+		seen[c] = n
+	}
+}
+
+// Cyclic molecules canonicalize permutation-invariantly too: random
+// unicyclic C/S graphs with one extra ring bond between low-degree
+// vertices.
+func TestCanonicalPermutationInvariantCyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		m := New()
+		for i := 0; i < n; i++ {
+			e := Element("C")
+			if rng.Intn(2) == 0 {
+				e = "S"
+			}
+			m.AddAtom(Atom{Element: e})
+		}
+		deg := make([]int, n)
+		for i := 1; i < n; i++ {
+			parent := rng.Intn(i)
+			m.Bonds = append(m.Bonds, Bond{A: parent, B: i, Order: 1})
+			deg[parent]++
+			deg[i]++
+		}
+		// One ring bond between non-adjacent low-degree vertices (sulfur
+		// tolerates degree <= 2 at valence 2; carbon up to 4).
+		limit := func(i int) int {
+			if m.Atoms[i].Element == "S" {
+				return 1
+			}
+			return 3
+		}
+		added := false
+		for tries := 0; tries < 20 && !added; tries++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b || deg[a] > limit(a) || deg[b] > limit(b) {
+				continue
+			}
+			if _, dup := m.BondBetween(a, b); dup {
+				continue
+			}
+			m.Bonds = append(m.Bonds, Bond{A: a, B: b, Order: 1})
+			added = true
+		}
+		for i := 0; i < n; i++ {
+			m.Atoms[i].Hs = implicitHs(m.Atoms[i].Element, m.BondOrderSum(i))
+		}
+		perm := rng.Perm(n)
+		inv := invPerm(perm)
+		p := New()
+		atoms := make([]Atom, n)
+		for old, a := range m.Atoms {
+			atoms[inv[old]] = a
+		}
+		p.Atoms = atoms
+		for _, b := range m.Bonds {
+			p.Bonds = append(p.Bonds, Bond{A: inv[b.A], B: inv[b.B], Order: b.Order})
+		}
+		return m.Canonical() == p.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

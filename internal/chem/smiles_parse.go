@@ -1,0 +1,290 @@
+package chem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSMILES reads the SMILES subset used by the reaction compiler:
+// organic-subset atoms (C, N, O, S, ...), bracket atoms with explicit
+// hydrogen counts, charges and atom classes ([SH], [CH3+], [S:2], [Zn]),
+// single/double/triple bonds (-, =, #), branches, ring-closure digits
+// (including %nn) and dot-separated disconnected parts. Aromatic
+// (lowercase) atoms and stereo markers are rejected: vulcanization
+// chemistry in the suite is modeled with explicit Kekulé structures.
+func ParseSMILES(s string) (*Molecule, error) {
+	p := &smilesParser{src: s, ringBonds: make(map[int]ringHalf)}
+	m, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("chem: parsing SMILES %q: %w", s, err)
+	}
+	return m, nil
+}
+
+// MustParseSMILES is ParseSMILES for known-good literals in tests and
+// generators; it panics on error.
+func MustParseSMILES(s string) *Molecule {
+	m, err := ParseSMILES(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type ringHalf struct {
+	atom  int
+	order int
+}
+
+type smilesParser struct {
+	src       string
+	pos       int
+	mol       *Molecule
+	ringBonds map[int]ringHalf
+	// explicitH marks atoms whose hydrogen count was given in brackets and
+	// must not be adjusted by implicit-H fill.
+	explicitH []bool
+}
+
+func (p *smilesParser) errf(format string, args ...any) error {
+	return fmt.Errorf("at offset %d: "+format, append([]any{p.pos}, args...)...)
+}
+
+func (p *smilesParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *smilesParser) parse() (*Molecule, error) {
+	p.mol = New()
+	if strings.TrimSpace(p.src) == "" {
+		return nil, p.errf("empty SMILES")
+	}
+	type frame struct{ prev int }
+	var stack []frame
+	prev := -1       // previous atom index awaiting a bond
+	pendingBond := 0 // 0 = default single, else explicit order
+
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t':
+			p.pos++
+		case c == '-':
+			pendingBond = 1
+			p.pos++
+		case c == '=':
+			pendingBond = 2
+			p.pos++
+		case c == '#':
+			pendingBond = 3
+			p.pos++
+		case c == '(':
+			if prev < 0 {
+				return nil, p.errf("branch before any atom")
+			}
+			stack = append(stack, frame{prev: prev})
+			p.pos++
+		case c == ')':
+			if len(stack) == 0 {
+				return nil, p.errf("unmatched ')'")
+			}
+			prev = stack[len(stack)-1].prev
+			stack = stack[:len(stack)-1]
+			p.pos++
+		case c == '.':
+			prev = -1
+			pendingBond = 0
+			p.pos++
+		case c >= '0' && c <= '9' || c == '%':
+			num, err := p.ringNumber()
+			if err != nil {
+				return nil, err
+			}
+			if prev < 0 {
+				return nil, p.errf("ring closure before any atom")
+			}
+			if err := p.closeRing(num, prev, pendingBond); err != nil {
+				return nil, err
+			}
+			pendingBond = 0
+		default:
+			idx, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			if prev >= 0 {
+				order := pendingBond
+				if order == 0 {
+					order = 1
+				}
+				p.mol.Bonds = append(p.mol.Bonds, Bond{A: prev, B: idx, Order: order})
+			}
+			prev = idx
+			pendingBond = 0
+		}
+	}
+	if len(stack) != 0 {
+		return nil, p.errf("unmatched '('")
+	}
+	if len(p.ringBonds) != 0 {
+		return nil, p.errf("unclosed ring bond")
+	}
+	p.fillImplicitHydrogens()
+	return p.mol, nil
+}
+
+func (p *smilesParser) ringNumber() (int, error) {
+	c := p.src[p.pos]
+	if c == '%' {
+		if p.pos+2 >= len(p.src) {
+			return 0, p.errf("truncated %%nn ring number")
+		}
+		d1, d2 := p.src[p.pos+1], p.src[p.pos+2]
+		if d1 < '0' || d1 > '9' || d2 < '0' || d2 > '9' {
+			return 0, p.errf("malformed %%nn ring number")
+		}
+		p.pos += 3
+		return int(d1-'0')*10 + int(d2-'0'), nil
+	}
+	p.pos++
+	return int(c - '0'), nil
+}
+
+func (p *smilesParser) closeRing(num, atom, pendingBond int) error {
+	if half, open := p.ringBonds[num]; open {
+		delete(p.ringBonds, num)
+		order := pendingBond
+		if order == 0 {
+			order = half.order
+		}
+		if order == 0 {
+			order = 1
+		}
+		if half.order != 0 && pendingBond != 0 && half.order != pendingBond {
+			return p.errf("ring %d closed with conflicting bond orders", num)
+		}
+		if half.atom == atom {
+			return p.errf("ring %d closes onto its own atom", num)
+		}
+		p.mol.Bonds = append(p.mol.Bonds, Bond{A: half.atom, B: atom, Order: order})
+		return nil
+	}
+	p.ringBonds[num] = ringHalf{atom: atom, order: pendingBond}
+	return nil
+}
+
+// atom parses one atom (bare or bracketed) and returns its index.
+func (p *smilesParser) atom() (int, error) {
+	c := p.src[p.pos]
+	if c == '[' {
+		return p.bracketAtom()
+	}
+	if c >= 'a' && c <= 'z' {
+		return 0, p.errf("aromatic atom %q not supported (write Kekulé structures)", c)
+	}
+	// Two-character organic symbols first.
+	if p.pos+1 < len(p.src) {
+		two := Element(p.src[p.pos : p.pos+2])
+		if two == "Cl" || two == "Br" {
+			p.pos += 2
+			return p.addAtom(Atom{Element: two}, false), nil
+		}
+	}
+	e := Element(p.src[p.pos : p.pos+1])
+	if !organicSubset[e] {
+		return 0, p.errf("unknown organic-subset atom %q", string(e))
+	}
+	p.pos++
+	return p.addAtom(Atom{Element: e}, false), nil
+}
+
+func (p *smilesParser) bracketAtom() (int, error) {
+	p.pos++ // consume '['
+	start := p.pos
+	// Element symbol: uppercase letter + optional lowercase.
+	if p.pos >= len(p.src) || p.src[p.pos] < 'A' || p.src[p.pos] > 'Z' {
+		return 0, p.errf("bracket atom must start with an element symbol")
+	}
+	p.pos++
+	if p.pos < len(p.src) && p.src[p.pos] >= 'a' && p.src[p.pos] <= 'z' {
+		p.pos++
+	}
+	a := Atom{Element: Element(p.src[start:p.pos])}
+	if !KnownElement(a.Element) {
+		return 0, p.errf("unknown element %q", string(a.Element))
+	}
+	// Optional H count, charge, class — in any sensible order.
+	for p.pos < len(p.src) && p.src[p.pos] != ']' {
+		switch c := p.src[p.pos]; {
+		case c == 'H':
+			p.pos++
+			a.Hs = 1
+			if n, ok := p.number(); ok {
+				a.Hs = n
+			}
+		case c == '+' || c == '-':
+			sign := 1
+			if c == '-' {
+				sign = -1
+			}
+			p.pos++
+			mag := 1
+			if n, ok := p.number(); ok {
+				mag = n
+			}
+			a.Charge = sign * mag
+		case c == ':':
+			p.pos++
+			n, ok := p.number()
+			if !ok {
+				return 0, p.errf("atom class ':' needs a number")
+			}
+			a.Class = n
+		default:
+			return 0, p.errf("unexpected %q in bracket atom", string(c))
+		}
+	}
+	if p.pos >= len(p.src) {
+		return 0, p.errf("unterminated bracket atom")
+	}
+	p.pos++ // consume ']'
+	return p.addAtom(a, true), nil
+}
+
+func (p *smilesParser) number() (int, bool) {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, false
+	}
+	n := 0
+	for _, d := range p.src[start:p.pos] {
+		n = n*10 + int(d-'0')
+	}
+	return n, true
+}
+
+func (p *smilesParser) addAtom(a Atom, explicitH bool) int {
+	idx := p.mol.AddAtom(a)
+	p.explicitH = append(p.explicitH, explicitH)
+	return idx
+}
+
+// fillImplicitHydrogens assigns hydrogen counts to bare (non-bracket)
+// atoms, filling to the smallest standard valence that covers the bond
+// order sum. Bracket atoms keep their explicit counts — that is how SMILES
+// expresses radicals like [CH2] (a carbene-style site) or [SH] on a
+// polysulfide end.
+func (p *smilesParser) fillImplicitHydrogens() {
+	for i := range p.mol.Atoms {
+		if p.explicitH[i] {
+			continue
+		}
+		p.mol.Atoms[i].Hs = implicitHs(p.mol.Atoms[i].Element, p.mol.BondOrderSum(i))
+	}
+}

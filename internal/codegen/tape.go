@@ -1,0 +1,194 @@
+// Package codegen lowers an (optionally optimized) ODE system to
+// executable code. Two backends exist:
+//
+//   - a straight-line register tape (Program) executed by a small
+//     interpreter — the form the suite actually runs inside the ODE
+//     solver, playing the role of the compiled native code on the
+//     paper's IBM SP;
+//   - C source text (EmitC), the artifact the paper's compiler hands to
+//     the commercial C compiler; package ccomp parses and "compiles" it,
+//     reproducing the capacity behaviour of Table 1.
+package codegen
+
+import "fmt"
+
+// OpCode enumerates tape instructions.
+type OpCode uint8
+
+const (
+	// OpAdd: slot[Dst] = slot[A] + slot[B]
+	OpAdd OpCode = iota
+	// OpSub: slot[Dst] = slot[A] - slot[B]
+	OpSub
+	// OpMul: slot[Dst] = slot[A] * slot[B]
+	OpMul
+	// OpNeg: slot[Dst] = -slot[A]
+	OpNeg
+	// OpMov: slot[Dst] = slot[A]
+	OpMov
+	// OpDiv: slot[Dst] = slot[A] / slot[B]. The chemical compiler never
+	// emits divisions, but the C-subset front end (package ccomp) accepts
+	// them.
+	OpDiv
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	case OpMul:
+		return "mul"
+	case OpNeg:
+		return "neg"
+	case OpMov:
+		return "mov"
+	case OpDiv:
+		return "div"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one three-address tape instruction over slot indices.
+type Instr struct {
+	Op   OpCode
+	Dst  int32
+	A, B int32
+}
+
+// Program is a compiled, straight-line ODE right-hand-side evaluator.
+// The slot file is laid out [consts | y | k | scratch]; Out[i] names the
+// slot holding dy[i] after execution.
+type Program struct {
+	// NumY and NumK are the species and rate-constant counts.
+	NumY, NumK int
+	// Consts holds the literal pool, occupying slots [0, len(Consts)).
+	Consts []float64
+	// NumSlots is the total slot count including scratch.
+	NumSlots int
+	// Prelude is the instruction sequence that depends only on the rate
+	// constants; the evaluator reruns it only when the k vector changes
+	// (the hoisted once-per-parameter work).
+	Prelude []Instr
+	// Code is the per-evaluation instruction sequence.
+	Code []Instr
+	// Out[i] is the slot holding dy[i].
+	Out []int32
+}
+
+// YSlot returns the slot index of y[i].
+func (p *Program) YSlot(i int) int32 { return int32(len(p.Consts) + i) }
+
+// KSlot returns the slot index of k[j].
+func (p *Program) KSlot(j int) int32 { return int32(len(p.Consts) + p.NumY + j) }
+
+// NewEvaluator returns a reusable evaluator with its own scratch space;
+// evaluators are not safe for concurrent use, but independent evaluators
+// over one Program are.
+func (p *Program) NewEvaluator() *Evaluator {
+	e := &Evaluator{prog: p, slots: make([]float64, p.NumSlots)}
+	copy(e.slots, p.Consts)
+	return e
+}
+
+// Evaluator executes a Program. One evaluator per goroutine.
+type Evaluator struct {
+	prog  *Program
+	slots []float64
+	lastK []float64
+}
+
+// Eval computes dy = f(y, k). dy must have length len(Out) (NumY for ODE
+// programs); y and k must have lengths NumY and NumK.
+func (e *Evaluator) Eval(y, k, dy []float64) {
+	p := e.prog
+	if len(dy) != len(p.Out) {
+		panic(fmt.Sprintf("codegen: Eval output length %d, want %d", len(dy), len(p.Out)))
+	}
+	e.EvalSlots(y, k)
+	for i, slot := range p.Out {
+		dy[i] = e.slots[slot]
+	}
+}
+
+// EvalSlots runs the program for (y, k), leaving every result in the slot
+// file for retrieval with Slot — the path used when the output list is
+// not shaped like a dy vector (e.g. Jacobian entry programs).
+func (e *Evaluator) EvalSlots(y, k []float64) {
+	p := e.prog
+	if len(y) != p.NumY || len(k) != p.NumK {
+		panic(fmt.Sprintf("codegen: Eval shape mismatch: y=%d k=%d, want %d/%d",
+			len(y), len(k), p.NumY, p.NumK))
+	}
+	s := e.slots
+	copy(s[len(p.Consts):], y)
+	if !floatsEqual(e.lastK, k) {
+		copy(s[len(p.Consts)+p.NumY:], k)
+		runCode(s, p.Prelude)
+		e.lastK = append(e.lastK[:0], k...)
+	}
+	runCode(s, p.Code)
+}
+
+// Slot reads a slot value after EvalSlots.
+func (e *Evaluator) Slot(i int32) float64 { return e.slots[i] }
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runCode executes an instruction sequence over the slot file.
+func runCode(s []float64, code []Instr) {
+	for _, in := range code {
+		switch in.Op {
+		case OpAdd:
+			s[in.Dst] = s[in.A] + s[in.B]
+		case OpSub:
+			s[in.Dst] = s[in.A] - s[in.B]
+		case OpMul:
+			s[in.Dst] = s[in.A] * s[in.B]
+		case OpNeg:
+			s[in.Dst] = -s[in.A]
+		case OpMov:
+			s[in.Dst] = s[in.A]
+		case OpDiv:
+			s[in.Dst] = s[in.A] / s[in.B]
+		}
+	}
+}
+
+// CountOps returns the arithmetic operation counts of the per-evaluation
+// code (the prelude is excluded; see PreludeOps). Moves and unary
+// negations are free: Table 1 counts '*' and binary '+'/'-' operators,
+// and a leading sign folds into the expression at no counted cost in the
+// static accounting (expr.CountOps), which this mirrors.
+func (p *Program) CountOps() (muls, adds int) {
+	return countCodeOps(p.Code)
+}
+
+// PreludeOps returns the operation counts of the once-per-rate-vector
+// prelude.
+func (p *Program) PreludeOps() (muls, adds int) {
+	return countCodeOps(p.Prelude)
+}
+
+func countCodeOps(code []Instr) (muls, adds int) {
+	for _, in := range code {
+		switch in.Op {
+		case OpMul, OpDiv:
+			muls++
+		case OpAdd, OpSub:
+			adds++
+		}
+	}
+	return muls, adds
+}

@@ -1,0 +1,171 @@
+// Package dataset reads, writes and synthesizes the experimental data
+// files of the parameter estimator. Each file holds the time evolution of
+// one measured property for one rubber formulation — more than 3000
+// records of the form ⟨t_i, property value⟩, one per line — exactly the
+// format the paper's objective function consumes (§4.3). Sixteen such
+// files, for different formulations cured at one temperature, drive the
+// Table 2 experiments.
+//
+// The paper's files come from rheometer measurements of crosslink
+// concentration; those are proprietary, so Synthesize produces
+// functionally equivalent files by solving a ground-truth kinetic model
+// and sampling its property curve with configurable record counts and
+// noise. Varying record counts across files produces the per-file cost
+// imbalance that the dynamic load balancer exploits.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one ⟨time, property value⟩ measurement.
+type Record struct {
+	T     float64
+	Value float64
+}
+
+// File is one experimental data file in memory.
+type File struct {
+	// Name identifies the file (its base name on disk).
+	Name string
+	// Records are sorted by time.
+	Records []Record
+}
+
+// NumRecords returns the record count (the objective's work measure).
+func (f *File) NumRecords() int { return len(f.Records) }
+
+// Times returns the time column.
+func (f *File) Times() []float64 {
+	ts := make([]float64, len(f.Records))
+	for i, r := range f.Records {
+		ts[i] = r.T
+	}
+	return ts
+}
+
+// Values returns the property column.
+func (f *File) Values() []float64 {
+	vs := make([]float64, len(f.Records))
+	for i, r := range f.Records {
+		vs[i] = r.Value
+	}
+	return vs
+}
+
+// Read parses a data file: one "t value" pair per line, '#' comments and
+// blank lines ignored. Records are sorted by time on load.
+func Read(r io.Reader, name string) (*File, error) {
+	f := &File{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("dataset: %s:%d: want 2 fields, got %d", name, lineNo, len(fields))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s:%d: bad time %q", name, lineNo, fields[0])
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s:%d: bad value %q", name, lineNo, fields[1])
+		}
+		f.Records = append(f.Records, Record{T: t, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", name, err)
+	}
+	if len(f.Records) == 0 {
+		return nil, fmt.Errorf("dataset: %s: no records", name)
+	}
+	sort.Slice(f.Records, func(i, j int) bool { return f.Records[i].T < f.Records[j].T })
+	return f, nil
+}
+
+// ReadFile reads a data file from disk.
+func ReadFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return Read(fh, filepath.Base(path))
+}
+
+// Write emits the file in the on-disk format.
+func (f *File) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d records of <t, property value>\n", f.Name, len(f.Records))
+	for _, r := range f.Records {
+		fmt.Fprintf(bw, "%.10g %.10g\n", r.T, r.Value)
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the file to disk.
+func (f *File) WriteFile(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return f.Write(fh)
+}
+
+// PropertyFunc maps a time to the true property value (typically obtained
+// by solving a ground-truth kinetic model and reading off the crosslink
+// concentration).
+type PropertyFunc func(t float64) float64
+
+// SynthesizeOptions shapes a synthetic experiment file.
+type SynthesizeOptions struct {
+	// Name is the file's identity.
+	Name string
+	// Records is the sample count; the paper's files carry >3000 records
+	// (default 3200).
+	Records int
+	// T0 and T1 bound the sampled time window (defaults 0 and 1).
+	T0, T1 float64
+	// Noise is the standard deviation of additive Gaussian measurement
+	// noise (0 = exact).
+	Noise float64
+	// Seed drives the noise generator.
+	Seed int64
+}
+
+// Synthesize samples the property curve into a data file.
+func Synthesize(property PropertyFunc, o SynthesizeOptions) *File {
+	if o.Records <= 0 {
+		o.Records = 3200
+	}
+	if o.T1 == o.T0 {
+		o.T1 = o.T0 + 1
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	f := &File{Name: o.Name, Records: make([]Record, o.Records)}
+	for i := 0; i < o.Records; i++ {
+		t := o.T0 + (o.T1-o.T0)*float64(i)/float64(o.Records-1)
+		v := property(t)
+		if o.Noise > 0 {
+			v += o.Noise * rng.NormFloat64()
+		}
+		f.Records[i] = Record{T: t, Value: v}
+	}
+	return f
+}

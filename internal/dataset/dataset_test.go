@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadBasic(t *testing.T) {
+	src := `
+# crosslink concentration vs time
+0.0 0.00
+0.5 0.25
+
+1.0 0.40
+`
+	f, err := Read(strings.NewReader(src), "exp1.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecords() != 3 {
+		t.Fatalf("records = %d", f.NumRecords())
+	}
+	if f.Records[1].T != 0.5 || f.Records[1].Value != 0.25 {
+		t.Errorf("record 1 = %+v", f.Records[1])
+	}
+}
+
+func TestReadSortsByTime(t *testing.T) {
+	f, err := Read(strings.NewReader("2 20\n1 10\n3 30\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := f.Times()
+	if ts[0] != 1 || ts[1] != 2 || ts[2] != 3 {
+		t.Errorf("times = %v", ts)
+	}
+	vs := f.Values()
+	if vs[0] != 10 || vs[2] != 30 {
+		t.Errorf("values = %v", vs)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",               // no records
+		"# only comment", // no records
+		"1 2 3",          // 3 fields
+		"abc 2",          // bad time
+		"1 xyz",          // bad value
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src), "bad"); err == nil {
+			t.Errorf("Read(%q) succeeded", src)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := Synthesize(func(tt float64) float64 { return tt * tt }, SynthesizeOptions{
+		Name: "round.dat", Records: 100, T0: 0, T1: 2,
+	})
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf, "round.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRecords() != f.NumRecords() {
+		t.Fatalf("records: %d vs %d", g.NumRecords(), f.NumRecords())
+	}
+	for i := range f.Records {
+		if math.Abs(f.Records[i].T-g.Records[i].T) > 1e-9 ||
+			math.Abs(f.Records[i].Value-g.Records[i].Value) > 1e-9 {
+			t.Fatalf("record %d: %+v vs %+v", i, f.Records[i], g.Records[i])
+		}
+	}
+}
+
+func TestFileRoundTripOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exp01.dat")
+	f := Synthesize(func(tt float64) float64 { return math.Exp(-tt) }, SynthesizeOptions{
+		Name: "exp01.dat", Records: 50,
+	})
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "exp01.dat" || g.NumRecords() != 50 {
+		t.Errorf("read back: %s, %d records", g.Name, g.NumRecords())
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/file.dat"); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}
+
+func TestSynthesizeDefaults(t *testing.T) {
+	f := Synthesize(func(tt float64) float64 { return 1 }, SynthesizeOptions{Name: "d"})
+	if f.NumRecords() != 3200 {
+		t.Errorf("default records = %d, want 3200 (>3000 per the paper)", f.NumRecords())
+	}
+	if f.Records[0].T != 0 || f.Records[len(f.Records)-1].T != 1 {
+		t.Errorf("default window: [%v, %v]", f.Records[0].T, f.Records[len(f.Records)-1].T)
+	}
+}
+
+func TestSynthesizeNoiseDeterministic(t *testing.T) {
+	mk := func(seed int64) *File {
+		return Synthesize(func(tt float64) float64 { return tt }, SynthesizeOptions{
+			Name: "n", Records: 64, Noise: 0.1, Seed: seed,
+		})
+	}
+	a, b := mk(3), mk(3)
+	c := mk(4)
+	differ := false
+	for i := range a.Records {
+		if a.Records[i].Value != b.Records[i].Value {
+			t.Fatalf("same seed differs at %d", i)
+		}
+		if a.Records[i].Value != c.Records[i].Value {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestSynthesizeNoiseMagnitude(t *testing.T) {
+	f := Synthesize(func(tt float64) float64 { return 0 }, SynthesizeOptions{
+		Name: "noise", Records: 5000, Noise: 0.5, Seed: 1,
+	})
+	var sum, sumSq float64
+	for _, r := range f.Records {
+		sum += r.Value
+		sumSq += r.Value * r.Value
+	}
+	n := float64(f.NumRecords())
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.05 || math.Abs(std-0.5) > 0.05 {
+		t.Errorf("noise stats: mean=%v std=%v, want ≈0 / 0.5", mean, std)
+	}
+}

@@ -1,0 +1,235 @@
+package eqgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rms/internal/network"
+)
+
+// fig3Network builds the paper's Fig. 3 reaction network directly:
+//
+//  1. -A +B +B [K_A];
+//  2. -C -D +E [K_CD];
+func fig3Network(t *testing.T) *network.Network {
+	t.Helper()
+	n := network.New()
+	for _, s := range []struct {
+		name string
+		init float64
+	}{{"A", 1}, {"B", 0}, {"C", 0.5}, {"D", 0.25}, {"E", 0}} {
+		if _, err := n.AddSpecies(s.name, "", s.init); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.AddReaction("r1", "K_A", []string{"A"}, []string{"B", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddReaction("r2", "K_CD", []string{"C", "D"}, []string{"E"}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestFromNetworkFig5 replays the paper's Fig. 4 → Fig. 5 equation
+// formation. The ODEs must be (with §3.1 merging applied on the fly):
+//
+//	dA/dt = -K_A*A
+//	dB/dt = 2*K_A*A
+//	dC/dt = -K_CD*C*D
+//	dD/dt = -K_CD*C*D
+//	dE/dt = +K_CD*C*D
+func TestFromNetworkFig5(t *testing.T) {
+	sys := FromNetwork(fig3Network(t))
+	want := map[string]string{
+		"A": "dA/dt = -K_A*A;",
+		"B": "dB/dt = 2*K_A*A;",
+		"C": "dC/dt = -K_CD*C*D;",
+		"D": "dD/dt = -K_CD*C*D;",
+		"E": "dE/dt = K_CD*C*D;",
+	}
+	for _, eq := range sys.Equations {
+		if got := eq.String(); got != want[eq.LHS] {
+			t.Errorf("equation for %s = %q, want %q", eq.LHS, got, want[eq.LHS])
+		}
+	}
+	if len(sys.Rates) != 2 || sys.Rates[0] != "K_A" || sys.Rates[1] != "K_CD" {
+		t.Errorf("rates = %v", sys.Rates)
+	}
+	if sys.NumEquations() != 5 {
+		t.Errorf("equations = %d", sys.NumEquations())
+	}
+}
+
+func TestSystemEvalMassAction(t *testing.T) {
+	sys := FromNetwork(fig3Network(t))
+	y := []float64{1, 0, 0.5, 0.25, 0}
+	k := map[string]float64{"K_A": 2, "K_CD": 4}
+	dy := sys.Eval(y, k)
+	// dA = -2*1 = -2 ; dB = +2*2*1 = 4 ; dC = dD = -4*0.5*0.25 = -0.5 ; dE = +0.5
+	want := []float64{-2, 4, -0.5, -0.5, 0.5}
+	for i := range want {
+		if math.Abs(dy[i]-want[i]) > 1e-12 {
+			t.Errorf("dy[%d] = %v, want %v", i, dy[i], want[i])
+		}
+	}
+}
+
+// TestDimerization checks the multiplicity convention: 2A -> A2 consumes A
+// twice, so dA/dt = -2*K*A*A and the flux is K*A^2.
+func TestDimerization(t *testing.T) {
+	n := network.New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("A2", "", 0)
+	if _, err := n.AddReaction("dim", "K_d", []string{"A", "A"}, []string{"A2"}); err != nil {
+		t.Fatal(err)
+	}
+	sys := FromNetwork(n)
+	var eqA, eqA2 *Equation
+	for _, eq := range sys.Equations {
+		switch eq.LHS {
+		case "A":
+			eqA = eq
+		case "A2":
+			eqA2 = eq
+		}
+	}
+	if got, want := eqA.String(), "dA/dt = -2*K_d*A*A;"; got != want {
+		t.Errorf("dA/dt = %q, want %q", got, want)
+	}
+	if got, want := eqA2.String(), "dA2/dt = K_d*A*A;"; got != want {
+		t.Errorf("dA2/dt = %q, want %q", got, want)
+	}
+}
+
+// TestLikeTermsAcrossReactions: two distinct reactions with the same rate
+// constant and reactants merge in the equation table (§3.1).
+func TestLikeTermsAcrossReactions(t *testing.T) {
+	n := network.New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("B", "", 0)
+	n.AddSpecies("C", "", 0)
+	n.AddReaction("r1", "K_x", []string{"A"}, []string{"B"})
+	n.AddReaction("r2", "K_x", []string{"A"}, []string{"C"})
+	sys := FromNetwork(n)
+	for _, eq := range sys.Equations {
+		if eq.LHS == "A" {
+			if got, want := eq.String(), "dA/dt = -2*K_x*A;"; got != want {
+				t.Errorf("dA/dt = %q, want %q", got, want)
+			}
+		}
+	}
+}
+
+func TestTotalOps(t *testing.T) {
+	sys := FromNetwork(fig3Network(t))
+	muls, adds := sys.TotalOps()
+	// Raw (Fig. 5) form: dA: K_A*A = 1 mul. dB: K_A*A + K_A*A = 2 muls,
+	// 1 add. dC,dD,dE: K_CD*C*D = 2 muls each.
+	if muls != 9 {
+		t.Errorf("raw muls = %d, want 9", muls)
+	}
+	if adds != 1 {
+		t.Errorf("raw adds = %d, want 1", adds)
+	}
+	// After §3.1 merging dB becomes 2*K_A*A (still 2 muls, no adds).
+	muls, adds = sys.SimplifiedOps()
+	if muls != 9 || adds != 0 {
+		t.Errorf("simplified ops = (%d,%d), want (9,0)", muls, adds)
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	sys := FromNetwork(fig3Network(t))
+	s := sys.String()
+	if !strings.Contains(s, "1. dA/dt = -K_A*A;") {
+		t.Errorf("String:\n%s", s)
+	}
+	if !strings.Contains(s, "5. dE/dt = K_CD*C*D;") {
+		t.Errorf("String:\n%s", s)
+	}
+}
+
+func TestSpeciesIndex(t *testing.T) {
+	sys := FromNetwork(fig3Network(t))
+	idx := sys.SpeciesIndex()
+	for i, name := range sys.Species {
+		if idx[name] != i {
+			t.Errorf("index[%s] = %d, want %d", name, idx[name], i)
+		}
+	}
+}
+
+func TestY0Propagated(t *testing.T) {
+	sys := FromNetwork(fig3Network(t))
+	want := []float64{1, 0, 0.5, 0.25, 0}
+	for i := range want {
+		if sys.Y0[i] != want[i] {
+			t.Errorf("Y0 = %v, want %v", sys.Y0, want)
+		}
+	}
+}
+
+func TestJacobianEntries(t *testing.T) {
+	sys := FromNetwork(fig3Network(t))
+	entries := sys.Jacobian()
+	find := func(r, c int) string {
+		for _, e := range entries {
+			if e.Row == r && e.Col == c {
+				return e.RHS.String()
+			}
+		}
+		return ""
+	}
+	// dA/dt = -K_A*A: ∂/∂A = -K_A.
+	if got := find(0, 0); got != "-K_A" {
+		t.Errorf("J[0,0] = %q, want -K_A", got)
+	}
+	// dB/dt = 2*K_A*A: ∂/∂A = 2*K_A.
+	if got := find(1, 0); got != "2*K_A" {
+		t.Errorf("J[1,0] = %q, want 2*K_A", got)
+	}
+	// dC/dt = -K_CD*C*D: ∂/∂C = -K_CD*D and ∂/∂D = -K_CD*C.
+	if got := find(2, 2); got != "-K_CD*D" {
+		t.Errorf("J[2,2] = %q", got)
+	}
+	if got := find(2, 3); got != "-K_CD*C" {
+		t.Errorf("J[2,3] = %q", got)
+	}
+	// No entry couples B to anything (nothing consumes B).
+	for _, e := range entries {
+		if e.Col == 1 {
+			t.Errorf("unexpected coupling to B: J[%d,%d] = %s", e.Row, e.Col, e.RHS)
+		}
+	}
+}
+
+func TestJacobianPowerRule(t *testing.T) {
+	// Dimerization 2A -> A2: dA/dt = -2*K*A², so ∂/∂A = -4*K*A.
+	n := network.New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("A2", "", 0)
+	n.AddReaction("dim", "K_d", []string{"A", "A"}, []string{"A2"})
+	sys := FromNetwork(n)
+	for _, e := range sys.Jacobian() {
+		if e.Row == 0 && e.Col == 0 {
+			if got := e.RHS.String(); got != "-4*K_d*A" {
+				t.Errorf("J[0,0] = %q, want -4*K_d*A", got)
+			}
+			return
+		}
+	}
+	t.Fatal("J[0,0] entry missing")
+}
+
+func TestJacobianSystemShape(t *testing.T) {
+	sys := FromNetwork(fig3Network(t))
+	js, entries := sys.JacobianSystem()
+	if len(js.Equations) != len(entries) {
+		t.Fatalf("equations %d vs entries %d", len(js.Equations), len(entries))
+	}
+	if js.Equations[0].LHS == "" || js.Equations[0].Raw == nil {
+		t.Error("pseudo-system equations incomplete")
+	}
+}

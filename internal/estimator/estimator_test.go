@@ -1,0 +1,422 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rms/internal/codegen"
+	"rms/internal/dataset"
+	"rms/internal/eqgen"
+	"rms/internal/network"
+	"rms/internal/nlopt"
+	"rms/internal/ode"
+	"rms/internal/opt"
+)
+
+// decayModel builds A -> B with rate K_d; the property is [B].
+func decayModel(t *testing.T) *Model {
+	t.Helper()
+	n := network.New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("B", "", 0)
+	if _, err := n.AddReaction("r", "K_d", []string{"A"}, []string{"B"}); err != nil {
+		t.Fatal(err)
+	}
+	sys := eqgen.FromNetwork(n)
+	z, err := opt.Optimize(sys, opt.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Model{
+		Prog:     prog,
+		Y0:       sys.Y0,
+		Property: func(y []float64) float64 { return y[1] },
+		Stiff:    true,
+		// Tight tolerances: the optimizer differentiates the objective
+		// numerically, so solver truncation error must sit well below the
+		// finite-difference perturbation's effect.
+		SolverOpts: ode.Options{RTol: 1e-10, ATol: 1e-12},
+	}
+}
+
+// trueCurve is [B](t) for A->B with k: 1 - e^{-kt}.
+func trueCurve(k float64) dataset.PropertyFunc {
+	return func(t float64) float64 { return 1 - math.Exp(-k*t) }
+}
+
+func makeFiles(k float64, counts []int) []*dataset.File {
+	files := make([]*dataset.File, len(counts))
+	for i, n := range counts {
+		files[i] = dataset.Synthesize(trueCurve(k), dataset.SynthesizeOptions{
+			Name: "exp" + string(rune('A'+i)), Records: n, T0: 0, T1: 2, Seed: int64(i),
+		})
+	}
+	return files
+}
+
+func TestObjectiveZeroAtTruth(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.5, []int{40, 40})
+	e, err := New(m, files, Config{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1.5}, r); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r {
+		if math.Abs(v) > 1e-3 {
+			t.Errorf("residual[%d] = %v at the true rate", i, v)
+		}
+	}
+	if e.Calls() != 1 {
+		t.Errorf("calls = %d", e.Calls())
+	}
+	if e.WallSeconds() <= 0 || e.ModeledSeconds() <= 0 {
+		t.Error("timings not recorded")
+	}
+}
+
+func TestObjectiveRanksAgree(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(0.8, []int{30, 20, 25, 35})
+	var ref []float64
+	for _, ranks := range []int{1, 2, 4} {
+		e, err := New(m, files, Config{Ranks: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := make([]float64, e.ResidualDim())
+		if err := e.Objective([]float64{2.0}, r); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = append([]float64(nil), r...)
+			continue
+		}
+		for i := range ref {
+			if math.Abs(r[i]-ref[i]) > 1e-10 {
+				t.Errorf("ranks=%d residual[%d] = %v, want %v", ranks, i, r[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestEstimateRecoversRate(t *testing.T) {
+	m := decayModel(t)
+	kTrue := 1.2
+	files := makeFiles(kTrue, []int{50, 30})
+	e, err := New(m, files, Config{Ranks: 2, LoadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Estimate([]float64{0.3}, []float64{0.01}, []float64{10},
+		nlopt.Options{MaxIter: 60, RelStep: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-kTrue) > 1e-3 {
+		t.Errorf("estimated k = %v, want %v (rnorm %g)", res.X[0], kTrue, res.RNorm)
+	}
+}
+
+func TestObjectiveShapeErrors(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1, []int{10})
+	e, _ := New(m, files, Config{Ranks: 1})
+	if err := e.Objective([]float64{1}, make([]float64, 3)); err == nil {
+		t.Error("wrong residual length accepted")
+	}
+	if err := e.Objective([]float64{1, 2}, make([]float64, e.ResidualDim())); err == nil {
+		t.Error("wrong k length accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1, []int{10})
+	if _, err := New(m, files, Config{Ranks: 0}); err == nil {
+		t.Error("ranks=0 accepted")
+	}
+	if _, err := New(m, nil, Config{Ranks: 1}); err == nil {
+		t.Error("no files accepted")
+	}
+	bad := *m
+	bad.Y0 = []float64{1}
+	if _, err := New(&bad, files, Config{Ranks: 1}); err == nil {
+		t.Error("bad Y0 accepted")
+	}
+}
+
+func TestBlockAssign(t *testing.T) {
+	a := blockAssign(16, 4)
+	for r, files := range a {
+		if len(files) != 4 {
+			t.Errorf("rank %d got %d files", r, len(files))
+		}
+	}
+	// 5 files over 2 ranks: 3 + 2.
+	b := blockAssign(5, 2)
+	if len(b[0]) != 3 || len(b[1]) != 2 {
+		t.Errorf("blockAssign(5,2) = %v", b)
+	}
+	// More ranks than files: some ranks idle.
+	c := blockAssign(2, 4)
+	total := 0
+	for _, files := range c {
+		total += len(files)
+	}
+	if total != 2 {
+		t.Errorf("blockAssign(2,4) total = %d", total)
+	}
+}
+
+func TestAssignLPTKnown(t *testing.T) {
+	// Times 5,4,3,3,2,1 over 2 ranks: LPT gives makespan 9 (optimal).
+	times := []float64{5, 4, 3, 3, 2, 1}
+	a := AssignLPT(times, 2)
+	ms := Makespan(a, times)
+	if ms != 9 {
+		t.Errorf("LPT makespan = %v, want 9", ms)
+	}
+	// All files assigned exactly once.
+	seen := make(map[int]bool)
+	for _, files := range a {
+		for _, f := range files {
+			if seen[f] {
+				t.Errorf("file %d assigned twice", f)
+			}
+			seen[f] = true
+		}
+	}
+	if len(seen) != len(times) {
+		t.Errorf("assigned %d of %d files", len(seen), len(times))
+	}
+}
+
+// Properties of LPT: within the greedy list-scheduling guarantee
+// sum/m + (1-1/m)·max, never below the lower bounds max(t_i) and sum/m,
+// and every file assigned exactly once. (LPT is a heuristic: a specific static
+// block layout can occasionally beat it, so no pairwise dominance is
+// asserted; the load-balancing win on realistic imbalance is checked in
+// TestLoadBalanceImproves.)
+func TestAssignLPTProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nf := 1 + rng.Intn(20)
+		ranks := 1 + rng.Intn(8)
+		times := make([]float64, nf)
+		sum, maxT := 0.0, 0.0
+		for i := range times {
+			times[i] = rng.Float64()*10 + 0.1
+			sum += times[i]
+			if times[i] > maxT {
+				maxT = times[i]
+			}
+		}
+		a := AssignLPT(times, ranks)
+		lpt := Makespan(a, times)
+		lower := math.Max(maxT, sum/float64(ranks))
+		// Greedy list-scheduling guarantee: makespan ≤ sum/m + (1-1/m)·max.
+		bound := sum/float64(ranks) + (1-1/float64(ranks))*maxT
+		if lpt < lower-1e-9 || lpt > bound+maxT*1e-9 {
+			t.Logf("LPT %v outside [%v, %v]", lpt, lower, bound)
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, files := range a {
+			for _, fi := range files {
+				if seen[fi] {
+					return false
+				}
+				seen[fi] = true
+			}
+		}
+		return len(seen) == nf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Dynamic load balancing takes effect: after one call with imbalanced
+// per-file costs, the reassignment's makespan is no worse than the static
+// one under the measured times.
+func TestLoadBalanceImproves(t *testing.T) {
+	m := decayModel(t)
+	// One big file and several small ones — static blocks pair the big
+	// file with another on the same rank.
+	files := makeFiles(1.0, []int{400, 20, 20, 400, 20, 20, 20, 20})
+	e, err := New(m, files, Config{Ranks: 2, LoadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticAssign := e.Assignment()
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1}, r); err != nil {
+		t.Fatal(err)
+	}
+	times := e.FileTimes()
+	newAssign := e.Assignment()
+	if Makespan(newAssign, times) > Makespan(staticAssign, times)+1e-9 {
+		t.Errorf("LPT makespan %v worse than static %v",
+			Makespan(newAssign, times), Makespan(staticAssign, times))
+	}
+}
+
+// With load balancing off, the assignment never changes.
+func TestNoLoadBalanceKeepsAssignment(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{60, 10, 10, 10})
+	e, err := New(m, files, Config{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Assignment()
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1}, r); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Assignment()
+	for rk := range before {
+		if len(before[rk]) != len(after[rk]) {
+			t.Fatalf("assignment changed without load balancing")
+		}
+		for i := range before[rk] {
+			if before[rk][i] != after[rk][i] {
+				t.Fatalf("assignment changed without load balancing")
+			}
+		}
+	}
+}
+
+// TestAnalyticJacobianAgrees: the estimator produces the same residuals
+// and fits with the compiled symbolic Jacobian as with finite
+// differences.
+func TestAnalyticJacobianAgrees(t *testing.T) {
+	m := decayModel(t)
+	// Build the analytic Jacobian for the same A -> B system.
+	n := network.New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("B", "", 0)
+	n.AddReaction("r", "K_d", []string{"A"}, []string{"B"})
+	sys := eqgen.FromNetwork(n)
+	jp, err := codegen.CompileJacobian(sys, opt.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withJac := *m
+	withJac.AnalyticJac = jp
+
+	files := makeFiles(1.1, []int{40, 25})
+	run := func(model *Model) []float64 {
+		e, err := New(model, files, Config{Ranks: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := make([]float64, e.ResidualDim())
+		if err := e.Objective([]float64{0.7}, r); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	fd := run(m)
+	aj := run(&withJac)
+	for i := range fd {
+		if math.Abs(fd[i]-aj[i]) > 1e-7 {
+			t.Errorf("residual[%d]: fd %v vs analytic %v", i, fd[i], aj[i])
+		}
+	}
+}
+
+// TestSolverFailurePropagates: an exploding model (positive feedback with
+// a huge rate) aborts the integration, and the objective surfaces the
+// error instead of silently zero-filling.
+func TestSolverFailurePropagates(t *testing.T) {
+	n := network.New()
+	n.AddSpecies("A", "", 1)
+	// Autocatalysis A + A -> 3A explodes in finite time.
+	n.AddReaction("boom", "K_b", []string{"A", "A"}, []string{"A", "A", "A"})
+	sys := eqgen.FromNetwork(n)
+	z, err := opt.Optimize(sys, opt.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &Model{
+		Prog: prog, Y0: sys.Y0, Stiff: true,
+		Property:   func(y []float64) float64 { return y[0] },
+		SolverOpts: ode.Options{RTol: 1e-8, ATol: 1e-10, MaxSteps: 2000},
+	}
+	files := makeFiles(1, []int{30})
+	e, err := New(model, files, Config{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1e9}, r); err == nil {
+		t.Error("exploding solve did not surface an error")
+	}
+}
+
+// TestAnalyzeFit: the Fig. 1 statistics step produces a tight interval
+// around the recovered rate and near-perfect goodness on clean data.
+func TestAnalyzeFit(t *testing.T) {
+	m := decayModel(t)
+	kTrue := 0.9
+	// Gaussian measurement noise makes the interval statistically
+	// meaningful (noise-free data gives a microscopically tight one).
+	files := []*dataset.File{
+		dataset.Synthesize(trueCurve(kTrue), dataset.SynthesizeOptions{
+			Name: "nA", Records: 50, T0: 0, T1: 2, Noise: 2e-3, Seed: 11,
+		}),
+		dataset.Synthesize(trueCurve(kTrue), dataset.SynthesizeOptions{
+			Name: "nB", Records: 30, T0: 0, T1: 2, Noise: 2e-3, Seed: 12,
+		}),
+	}
+	e, err := New(m, files, Config{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := e.Estimate([]float64{0.4}, []float64{0.01}, []float64{10},
+		nlopt.Options{MaxIter: 60, RelStep: 1e-4, KeepJacobian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, ivs, err := e.Analyze(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.R2 < 0.999 {
+		t.Errorf("R2 = %v on clean data", good.R2)
+	}
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %d", len(ivs))
+	}
+	iv := ivs[0]
+	if iv.Pinned {
+		t.Fatal("fitted parameter reported pinned")
+	}
+	if kTrue < iv.Lower || kTrue > iv.Upper {
+		t.Errorf("true rate %v outside interval [%v, %v]", kTrue, iv.Lower, iv.Upper)
+	}
+	// Without KeepJacobian the analysis refuses.
+	fit2, err := e.Estimate([]float64{0.4}, []float64{0.01}, []float64{10},
+		nlopt.Options{MaxIter: 10, RelStep: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Analyze(fit2); err == nil {
+		t.Error("Analyze without KeepJacobian succeeded")
+	}
+}

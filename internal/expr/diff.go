@@ -1,0 +1,35 @@
+package expr
+
+// DiffSum returns ∂s/∂wrt as a canonical sum. Mass-action right-hand
+// sides are polynomials in the concentrations, so the derivative of each
+// product follows the power rule: a product containing the variable with
+// multiplicity m contributes m·coef times the product with one occurrence
+// removed. Products not containing the variable vanish.
+//
+// The analytic Jacobian generator uses this to differentiate every ODE
+// with respect to every species it references, giving the stiff solver an
+// exact Jacobian at a fraction of the finite-difference cost.
+func DiffSum(s *Sum, wrt string) *Sum {
+	d := NewSum()
+	for _, p := range s.Products() {
+		m := multiplicity(p, wrt)
+		if m == 0 {
+			continue
+		}
+		q := p.Divide(wrt)
+		q.Coef *= float64(m)
+		d.Add(q)
+	}
+	return d
+}
+
+// multiplicity counts occurrences of the factor in the product.
+func multiplicity(p Product, name string) int {
+	n := 0
+	for _, f := range p.Factors {
+		if f == name {
+			n++
+		}
+	}
+	return n
+}

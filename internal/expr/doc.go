@@ -1,0 +1,18 @@
+// Package expr provides the symbolic-expression substrate used throughout
+// the Reaction Modeling Suite.
+//
+// The equation generator produces ordinary differential equations whose
+// right-hand sides are flat sums of products ("Coef * K_A * B * C + ...");
+// these are represented by the Sum and Product types, which maintain the
+// canonical lexicographic term order the optimizer relies on (IPPS'07 §3.3).
+//
+// The algebraic optimizer rewrites flat sums into factored expression trees
+// ("k1*(B*(C+D) + E*F)"); those are represented by the Node interface and
+// its concrete forms Var, Const, Mul, Add and TempRef.
+//
+// All canonical forms in the suite order terms with TermLess: kinetic rate
+// constants (names beginning 'K' or 'k') sort before species concentrations,
+// and ties break lexicographically. Keeping a single global order is what
+// makes the optimizer's prefix-based common-subexpression matching linear in
+// the expression length instead of requiring general string matching.
+package expr

@@ -1,0 +1,123 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Product is a single product term of an ODE right-hand side:
+//
+//	Coef * Factors[0] * Factors[1] * ... * Factors[n-1]
+//
+// Factors is kept sorted by TermLess and may contain repeats (A*A). The
+// coefficient carries the sign of the term, so a Sum is always a plain sum
+// of its products.
+type Product struct {
+	Coef    float64
+	Factors []string
+}
+
+// NewProduct builds a canonical product from a coefficient and factors in
+// any order.
+func NewProduct(coef float64, factors ...string) Product {
+	fs := make([]string, len(factors))
+	copy(fs, factors)
+	sort.Slice(fs, func(i, j int) bool { return TermLess(fs[i], fs[j]) })
+	return Product{Coef: coef, Factors: fs}
+}
+
+// Clone returns a deep copy of p.
+func (p Product) Clone() Product {
+	fs := make([]string, len(p.Factors))
+	copy(fs, p.Factors)
+	return Product{Coef: p.Coef, Factors: fs}
+}
+
+// Key returns the canonical identity of the product's variable part,
+// ignoring the coefficient. Two products with equal keys are "like terms"
+// in the sense of the paper's equation simplification (§3.1) and may be
+// combined by adding coefficients.
+func (p Product) Key() string {
+	return joinNames(p.Factors, "*")
+}
+
+// Contains reports whether the factor name occurs in the product.
+func (p Product) Contains(name string) bool {
+	i := sort.Search(len(p.Factors), func(i int) bool { return !TermLess(p.Factors[i], name) })
+	return i < len(p.Factors) && p.Factors[i] == name
+}
+
+// Divide returns p with one occurrence of the factor name removed — the
+// "p/k" of the distributive optimization (Fig. 6, line 11). It panics if
+// the factor is absent; callers select products via Contains first.
+func (p Product) Divide(name string) Product {
+	i := sort.Search(len(p.Factors), func(i int) bool { return !TermLess(p.Factors[i], name) })
+	if i >= len(p.Factors) || p.Factors[i] != name {
+		panic(fmt.Sprintf("expr: Divide(%q) on product %s: factor not present", name, p))
+	}
+	fs := make([]string, 0, len(p.Factors)-1)
+	fs = append(fs, p.Factors[:i]...)
+	fs = append(fs, p.Factors[i+1:]...)
+	return Product{Coef: p.Coef, Factors: fs}
+}
+
+// Degree returns the number of variable factors (with multiplicity).
+func (p Product) Degree() int { return len(p.Factors) }
+
+// IsConstant reports whether the product has no variable factors.
+func (p Product) IsConstant() bool { return len(p.Factors) == 0 }
+
+// Eval computes the product's value in the given environment. Missing
+// variables evaluate as 0 so that freshly created species default to zero
+// concentration, matching the equation generator's conventions.
+func (p Product) Eval(env map[string]float64) float64 {
+	v := p.Coef
+	for _, f := range p.Factors {
+		v *= env[f]
+	}
+	return v
+}
+
+// String renders the product in the style of the paper's figures,
+// e.g. "2*K_A*B*C" or "-K_C*C*D".
+func (p Product) String() string {
+	var b strings.Builder
+	switch {
+	case p.Coef == 1 && len(p.Factors) > 0:
+		// omit unit coefficient
+	case p.Coef == -1 && len(p.Factors) > 0:
+		b.WriteByte('-')
+	default:
+		b.WriteString(formatCoef(p.Coef))
+		if len(p.Factors) > 0 {
+			b.WriteByte('*')
+		}
+	}
+	b.WriteString(joinNames(p.Factors, "*"))
+	return b.String()
+}
+
+func formatCoef(c float64) string {
+	if c == float64(int64(c)) && c < 1e15 && c > -1e15 {
+		return strconv.FormatInt(int64(c), 10)
+	}
+	return strconv.FormatFloat(c, 'g', -1, 64)
+}
+
+// compareProducts orders products canonically: by factor list, then by
+// coefficient. Sums keep their products in this order.
+func compareProducts(a, b Product) int {
+	if c := compareNameSlices(a.Factors, b.Factors); c != 0 {
+		return c
+	}
+	switch {
+	case a.Coef < b.Coef:
+		return -1
+	case a.Coef > b.Coef:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,117 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProductCanonicalOrder(t *testing.T) {
+	p := NewProduct(2, "C", "K_A", "B")
+	want := []string{"K_A", "B", "C"}
+	if len(p.Factors) != len(want) {
+		t.Fatalf("factors = %v, want %v", p.Factors, want)
+	}
+	for i := range want {
+		if p.Factors[i] != want[i] {
+			t.Fatalf("factors = %v, want %v", p.Factors, want)
+		}
+	}
+}
+
+func TestProductKeyIgnoresCoef(t *testing.T) {
+	a := NewProduct(2, "B", "K_A")
+	b := NewProduct(-7, "K_A", "B")
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestProductContains(t *testing.T) {
+	p := NewProduct(1, "K_A", "A", "A", "B")
+	for _, name := range []string{"K_A", "A", "B"} {
+		if !p.Contains(name) {
+			t.Errorf("Contains(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"C", "K_B", ""} {
+		if p.Contains(name) {
+			t.Errorf("Contains(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestProductDivide(t *testing.T) {
+	p := NewProduct(3, "K_A", "A", "A")
+	q := p.Divide("A")
+	if got, want := q.Key(), "K_A*A"; got != want {
+		t.Errorf("Divide removed wrong factor: %q, want %q", got, want)
+	}
+	if q.Coef != 3 {
+		t.Errorf("Divide changed coefficient: %v", q.Coef)
+	}
+	// Original is untouched.
+	if got, want := p.Key(), "K_A*A*A"; got != want {
+		t.Errorf("Divide mutated receiver: %q, want %q", got, want)
+	}
+}
+
+func TestProductDividePanicsOnMissing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Divide on absent factor did not panic")
+		}
+	}()
+	NewProduct(1, "A").Divide("B")
+}
+
+func TestProductEval(t *testing.T) {
+	env := map[string]float64{"K_A": 2, "A": 3, "B": 5}
+	p := NewProduct(-1, "K_A", "A", "B")
+	if got := p.Eval(env); got != -30 {
+		t.Errorf("Eval = %v, want -30", got)
+	}
+	// Missing variables evaluate to zero.
+	if got := NewProduct(4, "Z").Eval(env); got != 0 {
+		t.Errorf("Eval with missing var = %v, want 0", got)
+	}
+}
+
+func TestProductString(t *testing.T) {
+	cases := []struct {
+		p    Product
+		want string
+	}{
+		{NewProduct(1, "K_A", "A"), "K_A*A"},
+		{NewProduct(-1, "K_A", "A"), "-K_A*A"},
+		{NewProduct(2, "B", "C", "k1"), "2*k1*B*C"},
+		{NewProduct(5), "5"},
+		{NewProduct(-3.5, "A"), "-3.5*A"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: Divide then re-multiplying the factor restores the canonical key.
+func TestProductDivideRoundTrip(t *testing.T) {
+	names := []string{"K_A", "K_B", "A", "B", "C", "D"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		fs := make([]string, n)
+		for i := range fs {
+			fs[i] = names[rng.Intn(len(names))]
+		}
+		p := NewProduct(1+rng.Float64(), fs...)
+		pick := p.Factors[rng.Intn(len(p.Factors))]
+		q := p.Divide(pick)
+		r := NewProduct(q.Coef, append(append([]string{}, q.Factors...), pick)...)
+		return r.Key() == p.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

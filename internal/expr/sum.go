@@ -1,0 +1,208 @@
+package expr
+
+import (
+	"sort"
+	"strings"
+)
+
+// Sum is a flat sum of products — the canonical, fully non-distributed
+// representation the paper argues for in §3.3. The equation generator
+// produces one Sum per molecule (the right-hand side of d[M]/dt), and the
+// optimizer consumes Sums.
+//
+// Invariants maintained by the methods:
+//   - products are sorted by compareProducts;
+//   - no two products share a Key (like terms are merged, §3.1);
+//   - no product has a zero coefficient.
+type Sum struct {
+	products []Product
+	index    map[string]int // Key -> position in products
+}
+
+// NewSum builds an empty sum.
+func NewSum() *Sum {
+	return &Sum{index: make(map[string]int)}
+}
+
+// SumOf builds a canonical sum from the given products, merging like terms.
+func SumOf(ps ...Product) *Sum {
+	s := NewSum()
+	for _, p := range ps {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add merges a product into the sum, combining it with an existing like
+// term when one exists. This is the on-the-fly equation simplification of
+// §3.1: after every Add, each product differs from every other in at least
+// one non-constant term.
+func (s *Sum) Add(p Product) {
+	if p.Coef == 0 {
+		return
+	}
+	key := p.Key()
+	if i, ok := s.index[key]; ok {
+		s.products[i].Coef += p.Coef
+		if s.products[i].Coef == 0 {
+			s.removeAt(i)
+		}
+		return
+	}
+	s.index[key] = len(s.products)
+	s.products = append(s.products, p.Clone())
+}
+
+// AddSum merges every product of t into s.
+func (s *Sum) AddSum(t *Sum) {
+	for _, p := range t.products {
+		s.Add(p)
+	}
+}
+
+// Scale multiplies every coefficient by c. Scaling by 0 empties the sum.
+func (s *Sum) Scale(c float64) {
+	if c == 0 {
+		s.products = nil
+		s.index = make(map[string]int)
+		return
+	}
+	for i := range s.products {
+		s.products[i].Coef *= c
+	}
+}
+
+func (s *Sum) removeAt(i int) {
+	last := len(s.products) - 1
+	delete(s.index, s.products[i].Key())
+	if i != last {
+		s.products[i] = s.products[last]
+		s.index[s.products[i].Key()] = i
+	}
+	s.products = s.products[:last]
+}
+
+// Len returns the number of products.
+func (s *Sum) Len() int { return len(s.products) }
+
+// IsZero reports whether the sum has no products.
+func (s *Sum) IsZero() bool { return len(s.products) == 0 }
+
+// Products returns the products in canonical order. The returned slice is
+// freshly sorted but shares product factor slices with the sum; callers
+// must not mutate them.
+func (s *Sum) Products() []Product {
+	ps := make([]Product, len(s.products))
+	copy(ps, s.products)
+	sort.Slice(ps, func(i, j int) bool { return compareProducts(ps[i], ps[j]) < 0 })
+	return ps
+}
+
+// Clone returns a deep copy of the sum.
+func (s *Sum) Clone() *Sum {
+	t := &Sum{
+		products: make([]Product, len(s.products)),
+		index:    make(map[string]int, len(s.index)),
+	}
+	for i, p := range s.products {
+		t.products[i] = p.Clone()
+		t.index[p.Key()] = i
+	}
+	return t
+}
+
+// Eval computes the sum's value in the given environment.
+func (s *Sum) Eval(env map[string]float64) float64 {
+	v := 0.0
+	for _, p := range s.products {
+		v += p.Eval(env)
+	}
+	return v
+}
+
+// Variables returns the distinct variable names referenced by the sum, in
+// canonical order.
+func (s *Sum) Variables() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, p := range s.products {
+		for _, f := range p.Factors {
+			if !seen[f] {
+				seen[f] = true
+				names = append(names, f)
+			}
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return TermLess(names[i], names[j]) })
+	return names
+}
+
+// CountOps returns the static multiplication and addition/subtraction
+// counts of the sum as it would be emitted naively, matching how Table 1 of
+// the paper counts operations: each product of d factors costs d-1
+// multiplies, plus one more if its coefficient is neither 1 nor -1; joining
+// n products costs n-1 additions/subtractions (a leading minus folds into
+// the first product's coefficient at no cost).
+func (s *Sum) CountOps() (muls, adds int) {
+	for _, p := range s.products {
+		if d := p.Degree(); d > 0 {
+			muls += d - 1
+			if p.Coef != 1 && p.Coef != -1 {
+				muls++
+			}
+		}
+	}
+	if n := len(s.products); n > 1 {
+		adds = n - 1
+	}
+	return muls, adds
+}
+
+// String renders the sum in the style of the paper's figures, e.g.
+// "+K_A*A + K_A*A" before simplification or "-K_C*C*D" alone.
+func (s *Sum) String() string {
+	ps := s.Products()
+	if len(ps) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, p := range ps {
+		str := p.String()
+		if i == 0 {
+			b.WriteString(str)
+			continue
+		}
+		if strings.HasPrefix(str, "-") {
+			b.WriteString(" - ")
+			b.WriteString(str[1:])
+		} else {
+			b.WriteString(" + ")
+			b.WriteString(str)
+		}
+	}
+	return b.String()
+}
+
+// Node converts the flat sum into a factored-expression tree without any
+// factoring: an Add of Mul leaves. The optimizer's DistOpt replaces this
+// with a properly factored tree.
+func (s *Sum) Node() Node {
+	ps := s.Products()
+	terms := make([]Node, 0, len(ps))
+	for _, p := range ps {
+		terms = append(terms, productNode(p))
+	}
+	return NewAdd(terms...)
+}
+
+// productNode converts one product to a Mul (or simpler) node.
+func productNode(p Product) Node {
+	factors := make([]Node, 0, len(p.Factors)+1)
+	if p.Coef != 1 || len(p.Factors) == 0 {
+		factors = append(factors, NewConst(p.Coef))
+	}
+	for _, f := range p.Factors {
+		factors = append(factors, NewVar(f))
+	}
+	return NewMul(factors...)
+}

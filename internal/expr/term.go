@@ -1,0 +1,75 @@
+package expr
+
+import "strings"
+
+// IsRateConstant reports whether name denotes a kinetic rate constant.
+// By convention (following the paper's reaction networks, Fig. 3) rate
+// constants are the names that begin with 'K' or 'k' followed by an
+// underscore or digit, e.g. "K_A", "K_CD", "k1". Species names never take
+// this form; the RDL front end rejects species declared with such names.
+func IsRateConstant(name string) bool {
+	if name == "" {
+		return false
+	}
+	if name[0] != 'K' && name[0] != 'k' {
+		return false
+	}
+	if len(name) == 1 {
+		return true
+	}
+	c := name[1]
+	return c == '_' || (c >= '0' && c <= '9')
+}
+
+// TermLess is the global canonical order on term names: rate constants
+// sort before species, and within each class names compare
+// lexicographically. Every canonical form in the suite (products, sums,
+// factored trees) sorts with this comparator so that equal values have
+// equal printed forms and common-subexpression matching can compare
+// prefixes directly.
+func TermLess(a, b string) bool {
+	ka, kb := IsRateConstant(a), IsRateConstant(b)
+	if ka != kb {
+		return ka
+	}
+	return a < b
+}
+
+// TermCompare returns -1, 0 or +1 ordering a and b by TermLess.
+func TermCompare(a, b string) int {
+	switch {
+	case a == b:
+		return 0
+	case TermLess(a, b):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// compareNameSlices orders two canonical factor/term name lists
+// lexicographically element-wise by TermCompare, shorter first on ties.
+func compareNameSlices(a, b []string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := TermCompare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// joinNames renders a name list for debugging and canonical keys.
+func joinNames(names []string, sep string) string {
+	return strings.Join(names, sep)
+}

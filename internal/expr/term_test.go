@@ -1,0 +1,85 @@
+package expr
+
+import "testing"
+
+func TestIsRateConstant(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"K_A", true},
+		{"K_CD", true},
+		{"k1", true},
+		{"k", true},
+		{"K", true},
+		{"K9", true},
+		{"k_off", true},
+		{"A", false},
+		{"B2", false},
+		{"Krypton", false}, // 'K' followed by a letter is a species name
+		{"kettle", false},
+		{"", false},
+		{"S8", false},
+		{"temp", false},
+	}
+	for _, c := range cases {
+		if got := IsRateConstant(c.name); got != c.want {
+			t.Errorf("IsRateConstant(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTermLessConstantsFirst(t *testing.T) {
+	if !TermLess("K_A", "A") {
+		t.Error("rate constant K_A must sort before species A")
+	}
+	if TermLess("A", "K_A") {
+		t.Error("species A must not sort before rate constant K_A")
+	}
+	if !TermLess("A", "B") {
+		t.Error("A must sort before B")
+	}
+	if !TermLess("K_A", "K_B") {
+		t.Error("K_A must sort before K_B")
+	}
+	if TermLess("A", "A") {
+		t.Error("TermLess must be irreflexive")
+	}
+}
+
+func TestTermCompareConsistent(t *testing.T) {
+	names := []string{"K_A", "K_B", "k1", "A", "B", "C", "S8"}
+	for _, a := range names {
+		for _, b := range names {
+			c := TermCompare(a, b)
+			switch {
+			case a == b && c != 0:
+				t.Errorf("TermCompare(%q,%q) = %d, want 0", a, b, c)
+			case TermLess(a, b) && c != -1:
+				t.Errorf("TermCompare(%q,%q) = %d, want -1", a, b, c)
+			case TermLess(b, a) && c != 1:
+				t.Errorf("TermCompare(%q,%q) = %d, want 1", a, b, c)
+			}
+		}
+	}
+}
+
+func TestCompareNameSlices(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{[]string{"A"}, []string{"A"}, 0},
+		{[]string{"A"}, []string{"B"}, -1},
+		{[]string{"A"}, []string{"A", "B"}, -1},
+		{[]string{"A", "B"}, []string{"A"}, 1},
+		{[]string{"K_A", "A"}, []string{"A"}, -1}, // constants lead
+		{nil, nil, 0},
+		{nil, []string{"A"}, -1},
+	}
+	for _, c := range cases {
+		if got := compareNameSlices(c.a, c.b); got != c.want {
+			t.Errorf("compareNameSlices(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

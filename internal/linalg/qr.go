@@ -1,0 +1,91 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR is a Householder QR factorization of an m×n matrix with m ≥ n:
+// A = Q·R with Q orthonormal (stored as Householder reflectors) and R
+// upper triangular. Its least-squares solve is the numerically robust
+// alternative to the damped normal equations when JᵀJ is ill-conditioned.
+type QR struct {
+	qr    *Matrix   // reflectors below the diagonal, R on and above
+	rdiag []float64 // diagonal of R
+}
+
+// QR factors the matrix; it does not modify m.
+func (m *Matrix) QR() (*QR, error) {
+	if m.Rows < m.Cols {
+		return nil, fmt.Errorf("linalg: QR needs rows >= cols, got %d×%d", m.Rows, m.Cols)
+	}
+	f := &QR{qr: m.Clone(), rdiag: make([]float64, m.Cols)}
+	a := f.qr
+	rows, cols := a.Rows, a.Cols
+	for k := 0; k < cols; k++ {
+		// Householder vector for column k.
+		norm := 0.0
+		for i := k; i < rows; i++ {
+			norm = math.Hypot(norm, a.At(i, k))
+		}
+		if norm == 0 {
+			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+		}
+		if a.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < rows; i++ {
+			a.Set(i, k, a.At(i, k)/norm)
+		}
+		a.Add(k, k, 1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < cols; j++ {
+			s := 0.0
+			for i := k; i < rows; i++ {
+				s += a.At(i, k) * a.At(i, j)
+			}
+			s = -s / a.At(k, k)
+			for i := k; i < rows; i++ {
+				a.Add(i, j, s*a.At(i, k))
+			}
+		}
+		f.rdiag[k] = -norm
+	}
+	return f, nil
+}
+
+// Solve returns the least-squares solution x minimizing ‖A·x − b‖₂.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	a := f.qr
+	rows, cols := a.Rows, a.Cols
+	if len(b) != rows {
+		return nil, fmt.Errorf("linalg: QR Solve rhs length %d, want %d", len(b), rows)
+	}
+	y := make([]float64, rows)
+	copy(y, b)
+	// Apply Qᵀ.
+	for k := 0; k < cols; k++ {
+		s := 0.0
+		for i := k; i < rows; i++ {
+			s += a.At(i, k) * y[i]
+		}
+		s = -s / a.At(k, k)
+		for i := k; i < rows; i++ {
+			y[i] += s * a.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make([]float64, cols)
+	for i := cols - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < cols; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		d := f.rdiag[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

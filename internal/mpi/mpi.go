@@ -1,0 +1,259 @@
+// Package mpi is a message-passing runtime with MPI's collective
+// semantics, implemented over goroutines and channels. It stands in for
+// the MPI library of the paper's parallel parameter estimator (Fig. 9):
+// ranks are goroutines, point-to-point messages travel over per-pair
+// channels, and the collectives (Barrier, Bcast, Reduce, AllReduce,
+// AllGather) must be called by every rank of the communicator, exactly as
+// in MPI.
+//
+// On the paper's IBM SP each rank was one processor of one node; here
+// ranks share a machine, so speedups are reported both as wall time and
+// as modeled parallel time (the per-rank critical path), the quantity
+// Table 2 measures on hardware where every rank really owns a CPU.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Comm is one rank's handle on the communicator.
+type Comm struct {
+	rank  int
+	world *world
+}
+
+type world struct {
+	size int
+	// ch[from][to] carries point-to-point messages.
+	ch [][]chan any
+	// collective plumbing: every rank sends to rank 0, rank 0 answers.
+	up   []chan any
+	down []chan any
+	// dead closes when any rank panics, releasing peers blocked in
+	// collectives (an MPI job with a dead rank aborts the communicator).
+	dead     chan struct{}
+	deadOnce sync.Once
+}
+
+// abortError marks the secondary panics raised on ranks released from a
+// collective after a peer died; Run reports the original panic instead.
+type abortError struct{}
+
+func (abortError) Error() string { return "mpi: communicator aborted (peer rank died)" }
+
+// Run starts a communicator of the given size and invokes fn once per
+// rank, each on its own goroutine, then waits for all ranks to return. A
+// panic on any rank is re-raised by Run after all ranks finish or hang
+// protection triggers.
+func Run(size int, fn func(c *Comm)) {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid communicator size %d", size))
+	}
+	w := &world{size: size}
+	w.ch = make([][]chan any, size)
+	for i := range w.ch {
+		w.ch[i] = make([]chan any, size)
+		for j := range w.ch[i] {
+			w.ch[i][j] = make(chan any, 16)
+		}
+	}
+	w.up = make([]chan any, size)
+	w.down = make([]chan any, size)
+	for i := 0; i < size; i++ {
+		w.up[i] = make(chan any, 1)
+		w.down[i] = make(chan any, 1)
+	}
+	w.dead = make(chan struct{})
+	var wg sync.WaitGroup
+	panics := make([]any, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Unblock peers waiting in collectives.
+					w.deadOnce.Do(func() { close(w.dead) })
+				}
+			}()
+			fn(&Comm{rank: rank, world: w})
+		}(r)
+	}
+	wg.Wait()
+	// Report the original failure, not the secondary communicator aborts
+	// it triggered on innocent ranks.
+	reportRank, reportPanic := -1, any(nil)
+	for r, p := range panics {
+		if p == nil {
+			continue
+		}
+		if _, secondary := p.(abortError); !secondary {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+		if reportRank < 0 {
+			reportRank, reportPanic = r, p
+		}
+	}
+	if reportRank >= 0 {
+		panic(fmt.Sprintf("mpi: rank %d panicked: %v", reportRank, reportPanic))
+	}
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to the given rank (buffered, non-blocking up to the
+// channel capacity).
+func (c *Comm) Send(to int, data any) {
+	c.world.ch[c.rank][to] <- data
+}
+
+// Recv receives the next message sent by the given rank (FIFO per pair).
+func (c *Comm) Recv(from int) any {
+	return <-c.world.ch[from][c.rank]
+}
+
+// collect gathers one value per rank at rank 0, applies f there, and
+// distributes the result to every rank. It is the engine behind the
+// collectives and must be called by all ranks.
+func (c *Comm) collect(local any, f func(all []any) any) any {
+	w := c.world
+	if c.rank == 0 {
+		all := make([]any, w.size)
+		all[0] = local
+		for r := 1; r < w.size; r++ {
+			select {
+			case v := <-w.up[r]:
+				all[r] = v
+			case <-w.dead:
+				panic(abortError{})
+			}
+		}
+		out := f(all)
+		for r := 1; r < w.size; r++ {
+			select {
+			case w.down[r] <- out:
+			case <-w.dead:
+				panic(abortError{})
+			}
+		}
+		return out
+	}
+	select {
+	case w.up[c.rank] <- local:
+	case <-w.dead:
+		panic(abortError{})
+	}
+	select {
+	case v := <-w.down[c.rank]:
+		return v
+	case <-w.dead:
+		panic(abortError{})
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.collect(nil, func([]any) any { return nil })
+}
+
+// Bcast distributes root's value to every rank (root's argument is
+// returned everywhere; other ranks' arguments are ignored).
+func (c *Comm) Bcast(root int, value any) any {
+	return c.collect(value, func(all []any) any { return all[root] })
+}
+
+// AllGather returns every rank's contribution, indexed by rank, on every
+// rank.
+func (c *Comm) AllGather(local any) []any {
+	v := c.collect(local, func(all []any) any {
+		cp := make([]any, len(all))
+		copy(cp, all)
+		return cp
+	})
+	return v.([]any)
+}
+
+// ReduceOp combines two equal-length vectors element-wise.
+type ReduceOp func(dst, src []float64)
+
+// SumOp accumulates element-wise sums — MPI_SUM.
+func SumOp(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// MaxOp keeps element-wise maxima — MPI_MAX.
+func MaxOp(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Gather collects every rank's vector at root (indexed by rank); other
+// ranks receive nil — MPI_Gather.
+func (c *Comm) Gather(root int, local []float64) [][]float64 {
+	v := c.collect(local, func(all []any) any {
+		out := make([][]float64, len(all))
+		for r, x := range all {
+			src := x.([]float64)
+			out[r] = append([]float64(nil), src...)
+		}
+		return out
+	})
+	if c.rank != root {
+		return nil
+	}
+	return v.([][]float64)
+}
+
+// Reduce combines every rank's vector with op at root; other ranks
+// receive nil — MPI_Reduce.
+func (c *Comm) Reduce(root int, local []float64, op ReduceOp) []float64 {
+	v := c.collect(local, func(all []any) any {
+		first := all[0].([]float64)
+		acc := append([]float64(nil), first...)
+		for _, x := range all[1:] {
+			op(acc, x.([]float64))
+		}
+		return acc
+	})
+	if c.rank != root {
+		return nil
+	}
+	out := v.([]float64)
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// AllReduce combines every rank's vector with op and returns the combined
+// vector on every rank — MPI_Allreduce. All vectors must share a length.
+func (c *Comm) AllReduce(local []float64, op ReduceOp) []float64 {
+	v := c.collect(local, func(all []any) any {
+		first := all[0].([]float64)
+		acc := make([]float64, len(first))
+		copy(acc, first)
+		for _, x := range all[1:] {
+			xs := x.([]float64)
+			if len(xs) != len(acc) {
+				panic(fmt.Sprintf("mpi: AllReduce length mismatch: %d vs %d", len(xs), len(acc)))
+			}
+			op(acc, xs)
+		}
+		return acc
+	})
+	out := v.([]float64)
+	// Each rank gets its own copy so later mutation stays rank-local.
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}

@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankAndSize(t *testing.T) {
+	var seen [4]int32
+	Run(4, func(c *Comm) {
+		if c.Size() != 4 {
+			t.Errorf("Size = %d", c.Size())
+		}
+		atomic.AddInt32(&seen[c.Rank()], 1)
+	})
+	for r, n := range seen {
+		if n != 1 {
+			t.Errorf("rank %d ran %d times", r, n)
+		}
+	}
+}
+
+func TestSendRecvFIFO(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 10)
+			c.Send(1, 20)
+			c.Send(1, 30)
+		} else {
+			for _, want := range []int{10, 20, 30} {
+				if got := c.Recv(0).(int); got != want {
+					t.Errorf("Recv = %d, want %d", got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var before, after int32
+	Run(8, func(c *Comm) {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		if n := atomic.LoadInt32(&before); n != 8 {
+			t.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), n)
+		}
+		atomic.AddInt32(&after, 1)
+	})
+	if after != 8 {
+		t.Errorf("after = %d", after)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	Run(5, func(c *Comm) {
+		v := -1
+		if c.Rank() == 2 {
+			v = 42
+		}
+		got := c.Bcast(2, v).(int)
+		if got != 42 {
+			t.Errorf("rank %d: Bcast = %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	Run(4, func(c *Comm) {
+		all := c.AllGather(c.Rank() * 10)
+		for r := 0; r < 4; r++ {
+			if all[r].(int) != r*10 {
+				t.Errorf("all[%d] = %v", r, all[r])
+			}
+		}
+	})
+}
+
+func TestAllReduceSum(t *testing.T) {
+	const n = 6
+	Run(n, func(c *Comm) {
+		local := []float64{float64(c.Rank()), 1}
+		got := c.AllReduce(local, SumOp)
+		want0 := float64(n * (n - 1) / 2)
+		if got[0] != want0 || got[1] != n {
+			t.Errorf("rank %d: AllReduce = %v", c.Rank(), got)
+		}
+		// Mutating the result must not affect other ranks (fresh copies).
+		got[0] = -1
+	})
+}
+
+func TestAllReduceMax(t *testing.T) {
+	Run(4, func(c *Comm) {
+		got := c.AllReduce([]float64{float64(c.Rank())}, MaxOp)
+		if got[0] != 3 {
+			t.Errorf("max = %v", got)
+		}
+	})
+}
+
+func TestAllReduceMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(8)
+		length := 1 + rng.Intn(20)
+		data := make([][]float64, size)
+		want := make([]float64, length)
+		for r := range data {
+			data[r] = make([]float64, length)
+			for i := range data[r] {
+				data[r][i] = rng.NormFloat64()
+				want[i] += data[r][i]
+			}
+		}
+		ok := true
+		Run(size, func(c *Comm) {
+			got := c.AllReduce(data[c.Rank()], SumOp)
+			for i := range want {
+				d := got[i] - want[i]
+				if d > 1e-12 || d < -1e-12 {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("rank panic not propagated")
+		}
+		if !strings.Contains(p.(string), "rank 1 panicked") {
+			t.Errorf("panic = %v", p)
+		}
+	}()
+	Run(3, func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		// Other ranks blocked in a collective must be released.
+		c.Barrier()
+	})
+}
+
+func TestInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 accepted")
+		}
+	}()
+	Run(0, func(c *Comm) {})
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	Run(1, func(c *Comm) {
+		c.Barrier()
+		if got := c.AllReduce([]float64{5}, SumOp); got[0] != 5 {
+			t.Errorf("AllReduce = %v", got)
+		}
+		if got := c.Bcast(0, "x").(string); got != "x" {
+			t.Errorf("Bcast = %q", got)
+		}
+	})
+}
+
+func TestManyRounds(t *testing.T) {
+	// Repeated collectives reuse the plumbing without deadlock.
+	Run(6, func(c *Comm) {
+		for round := 0; round < 100; round++ {
+			got := c.AllReduce([]float64{1}, SumOp)
+			if got[0] != 6 {
+				t.Errorf("round %d: %v", round, got)
+				return
+			}
+		}
+	})
+}
+
+func TestReduceAndGather(t *testing.T) {
+	Run(4, func(c *Comm) {
+		red := c.Reduce(2, []float64{float64(c.Rank()), 1}, SumOp)
+		if c.Rank() == 2 {
+			if red[0] != 6 || red[1] != 4 {
+				t.Errorf("Reduce at root = %v", red)
+			}
+		} else if red != nil {
+			t.Errorf("rank %d received a Reduce result", c.Rank())
+		}
+		g := c.Gather(0, []float64{float64(c.Rank() * 10)})
+		if c.Rank() == 0 {
+			for r := 0; r < 4; r++ {
+				if g[r][0] != float64(r*10) {
+					t.Errorf("Gather[%d] = %v", r, g[r])
+				}
+			}
+		} else if g != nil {
+			t.Errorf("rank %d received a Gather result", c.Rank())
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ConservationLaws returns a basis of the network's linear conserved
+// quantities: vectors c such that c·y(t) is constant along every
+// trajectory, i.e. the left null space of the stoichiometric matrix.
+// Chemical networks always carry such invariants (total atoms of each
+// element distribute over the species), and the solver tests use them as
+// global correctness checks: an integrator or generated-code bug that
+// leaks mass violates them immediately.
+//
+// The basis is computed by Gaussian elimination over the transposed
+// stoichiometric matrix and rescaled so each vector's entries are small
+// integers when the law is integral (the usual case).
+func (n *Network) ConservationLaws() [][]float64 {
+	ns := len(n.Species)
+	nr := len(n.Reactions)
+	if ns == 0 {
+		return nil
+	}
+	index := make(map[string]int, ns)
+	for _, s := range n.Species {
+		index[s.Name] = s.Index
+	}
+	// Stoichiometric matrix S: S[i][j] = net production of species i by
+	// reaction j. Conserved c satisfy cᵀS = 0.
+	s := make([][]float64, ns)
+	for i := range s {
+		s[i] = make([]float64, nr)
+	}
+	for j, r := range n.Reactions {
+		for _, c := range r.Consumed {
+			s[index[c]][j]--
+		}
+		for _, p := range r.Produced {
+			s[index[p]][j]++
+		}
+	}
+	// Row-reduce the ns×nr matrix augmented with the identity: the
+	// identity rows accompanying zero rows of the reduced S span the left
+	// null space.
+	aug := make([][]float64, ns)
+	for i := range aug {
+		aug[i] = make([]float64, nr+ns)
+		copy(aug[i], s[i])
+		aug[i][nr+i] = 1
+	}
+	row := 0
+	for col := 0; col < nr && row < ns; col++ {
+		// Partial pivot.
+		p := -1
+		best := 1e-9
+		for i := row; i < ns; i++ {
+			if v := math.Abs(aug[i][col]); v > best {
+				best, p = v, i
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		aug[row], aug[p] = aug[p], aug[row]
+		pv := aug[row][col]
+		for i := 0; i < ns; i++ {
+			if i == row || aug[i][col] == 0 {
+				continue
+			}
+			f := aug[i][col] / pv
+			for k := col; k < nr+ns; k++ {
+				aug[i][k] -= f * aug[row][k]
+			}
+		}
+		row++
+	}
+	var laws [][]float64
+	for i := row; i < ns; i++ {
+		// The S-part of this row is (numerically) zero; the identity part
+		// is a conservation vector.
+		c := make([]float64, ns)
+		copy(c, aug[i][nr:])
+		normalizeLaw(c)
+		laws = append(laws, c)
+	}
+	return laws
+}
+
+// normalizeLaw rescales a conservation vector to small integers when
+// possible: divide by the smallest nonzero magnitude, round near-integer
+// entries, and make the first nonzero entry positive.
+func normalizeLaw(c []float64) {
+	smallest := math.Inf(1)
+	for _, v := range c {
+		if a := math.Abs(v); a > 1e-9 && a < smallest {
+			smallest = a
+		}
+	}
+	if math.IsInf(smallest, 1) {
+		return
+	}
+	allInt := true
+	for i := range c {
+		c[i] /= smallest
+		if math.Abs(c[i]-math.Round(c[i])) > 1e-6 {
+			allInt = false
+		}
+	}
+	if allInt {
+		for i := range c {
+			c[i] = math.Round(c[i])
+		}
+	}
+	for _, v := range c {
+		if v != 0 {
+			if v < 0 {
+				for i := range c {
+					c[i] = -c[i]
+				}
+			}
+			break
+		}
+	}
+}
+
+// FormatLaw renders a conservation vector as a readable linear form,
+// e.g. "[A] + 2·[B] + [C]".
+func (n *Network) FormatLaw(c []float64) string {
+	var parts []string
+	for _, sp := range n.Species {
+		v := c[sp.Index]
+		if v == 0 {
+			continue
+		}
+		switch v {
+		case 1:
+			parts = append(parts, fmt.Sprintf("[%s]", sp.Name))
+		case -1:
+			parts = append(parts, fmt.Sprintf("-[%s]", sp.Name))
+		default:
+			parts = append(parts, fmt.Sprintf("%g·[%s]", v, sp.Name))
+		}
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,88 @@
+package network
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConservationSimpleChain(t *testing.T) {
+	// A -> B -> C conserves [A]+[B]+[C].
+	n := New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("B", "", 0)
+	n.AddSpecies("C", "", 0)
+	n.AddReaction("r1", "K_1", []string{"A"}, []string{"B"})
+	n.AddReaction("r2", "K_2", []string{"B"}, []string{"C"})
+	laws := n.ConservationLaws()
+	if len(laws) != 1 {
+		t.Fatalf("laws = %d, want 1: %v", len(laws), laws)
+	}
+	want := []float64{1, 1, 1}
+	for i, v := range want {
+		if laws[0][i] != v {
+			t.Errorf("law = %v, want %v", laws[0], want)
+		}
+	}
+	if got := n.FormatLaw(laws[0]); got != "[A] + [B] + [C]" {
+		t.Errorf("FormatLaw = %q", got)
+	}
+}
+
+func TestConservationDimerization(t *testing.T) {
+	// 2A -> A2 conserves [A] + 2[A2].
+	n := New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("A2", "", 0)
+	n.AddReaction("dim", "K_d", []string{"A", "A"}, []string{"A2"})
+	laws := n.ConservationLaws()
+	if len(laws) != 1 {
+		t.Fatalf("laws = %v", laws)
+	}
+	if laws[0][0] != 1 || laws[0][1] != 2 {
+		t.Errorf("law = %v, want [1 2]", laws[0])
+	}
+}
+
+func TestConservationOpenSystem(t *testing.T) {
+	// A -> B and B -> A + A: nothing linear is conserved.
+	n := New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("B", "", 0)
+	n.AddReaction("r1", "K_1", []string{"A"}, []string{"B"})
+	n.AddReaction("r2", "K_2", []string{"B"}, []string{"A", "A"})
+	if laws := n.ConservationLaws(); len(laws) != 0 {
+		t.Errorf("open system has laws: %v", laws)
+	}
+}
+
+func TestConservationBimolecular(t *testing.T) {
+	// C + D -> E: two independent invariants ([C]+[E], [D]+[E]).
+	n := New()
+	n.AddSpecies("C", "", 1)
+	n.AddSpecies("D", "", 1)
+	n.AddSpecies("E", "", 0)
+	n.AddReaction("r", "K_CD", []string{"C", "D"}, []string{"E"})
+	laws := n.ConservationLaws()
+	if len(laws) != 2 {
+		t.Fatalf("laws = %d, want 2: %v", len(laws), laws)
+	}
+	// Every law must annihilate the stoichiometry: -c[C] - c[D] + c[E] = 0.
+	for _, law := range laws {
+		if math.Abs(-law[0]-law[1]+law[2]) > 1e-9 {
+			t.Errorf("law %v does not annihilate the reaction", law)
+		}
+	}
+}
+
+func TestConservationInertSpecies(t *testing.T) {
+	// A species in no reaction is trivially conserved on its own.
+	n := New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("Inert", "", 2)
+	n.AddSpecies("B", "", 0)
+	n.AddReaction("r", "K_1", []string{"A"}, []string{"B"})
+	laws := n.ConservationLaws()
+	if len(laws) != 2 {
+		t.Fatalf("laws = %d, want 2 ([Inert] and [A]+[B]): %v", len(laws), laws)
+	}
+}

@@ -1,0 +1,107 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"rms/internal/chem"
+)
+
+// CheckMassBalance verifies that every reaction whose participants all
+// carry molecular structures conserves heavy (non-hydrogen) atoms: the
+// element counts of the consumed side must equal those of the produced
+// side. Hydrogen is excluded because the RDL primitives "remove a
+// hydrogen atom" / "add hydrogen atoms" model abstraction and capping
+// against an implicit hydrogen reservoir, exactly as the paper's rule set
+// describes them.
+//
+// The generator runs this check after expansion: a failure means a
+// reaction rule lost or invented atoms — the class of chemist error the
+// high-level language is supposed to make impossible, and a compiler
+// invariant for machine-applied rules.
+func (n *Network) CheckMassBalance() error {
+	formulas := make(map[string]map[chem.Element]int, len(n.Species))
+	for _, s := range n.Species {
+		if s.SMILES == "" {
+			continue
+		}
+		m, err := chem.ParseSMILES(s.SMILES)
+		if err != nil {
+			return fmt.Errorf("network: species %s has unparsable structure %q: %w",
+				s.Name, s.SMILES, err)
+		}
+		formulas[s.Name] = heavyAtomCounts(m)
+	}
+	for _, r := range n.Reactions {
+		lhs, ok := sumCounts(formulas, r.Consumed)
+		if !ok {
+			continue // abstract species: nothing to check
+		}
+		rhs, ok := sumCounts(formulas, r.Produced)
+		if !ok {
+			continue
+		}
+		if diff := countsDiff(lhs, rhs); diff != "" {
+			return fmt.Errorf("network: reaction %s does not conserve atoms: %s (%s)",
+				r.Name, diff, r)
+		}
+	}
+	return nil
+}
+
+func heavyAtomCounts(m *chem.Molecule) map[chem.Element]int {
+	counts := make(map[chem.Element]int)
+	for _, a := range m.Atoms {
+		if a.Element != "H" {
+			counts[a.Element]++
+		}
+	}
+	return counts
+}
+
+// sumCounts totals the element counts over a participant list; ok is
+// false when any participant lacks a structure.
+func sumCounts(formulas map[string]map[chem.Element]int, names []string) (map[chem.Element]int, bool) {
+	total := make(map[chem.Element]int)
+	for _, name := range names {
+		f, ok := formulas[name]
+		if !ok {
+			return nil, false
+		}
+		for e, c := range f {
+			total[e] += c
+		}
+	}
+	return total, true
+}
+
+// countsDiff renders the difference between two element-count maps, or ""
+// when equal.
+func countsDiff(lhs, rhs map[chem.Element]int) string {
+	var elements []string
+	seen := make(map[chem.Element]bool)
+	for e := range lhs {
+		if !seen[e] {
+			seen[e] = true
+			elements = append(elements, string(e))
+		}
+	}
+	for e := range rhs {
+		if !seen[e] {
+			seen[e] = true
+			elements = append(elements, string(e))
+		}
+	}
+	sort.Strings(elements)
+	diff := ""
+	for _, e := range elements {
+		l, r := lhs[chem.Element(e)], rhs[chem.Element(e)]
+		if l != r {
+			if diff != "" {
+				diff += ", "
+			}
+			diff += fmt.Sprintf("%s: %d consumed vs %d produced", e, l, r)
+		}
+	}
+	return diff
+}

@@ -1,0 +1,426 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"rms/internal/rdl"
+)
+
+func TestAddSpeciesAndReaction(t *testing.T) {
+	n := New()
+	if _, err := n.AddSpecies("A", "CC", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSpecies("B", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSpecies("A", "CCC", 0); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := n.AddSpecies("A2", "CC", 0); err == nil {
+		t.Error("duplicate structure accepted")
+	}
+	if _, err := n.AddReaction("r1", "K_A", []string{"A"}, []string{"B", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddReaction("r2", "K_A", []string{"Z"}, nil); err == nil {
+		t.Error("unknown species accepted")
+	}
+	if _, err := n.AddReaction("r3", "K_A", nil, []string{"B"}); err == nil {
+		t.Error("reaction with no reactants accepted")
+	}
+	if got := n.SpeciesByName("A").Index; got != 0 {
+		t.Errorf("A index = %d", got)
+	}
+	y0 := n.InitialConcentrations()
+	if y0[0] != 1.0 || y0[1] != 0 {
+		t.Errorf("y0 = %v", y0)
+	}
+}
+
+func TestReactionStringFig3(t *testing.T) {
+	// The paper's Fig. 3: "1. -A + B + B [K_A];"
+	r := &Reaction{Rate: "K_A", Consumed: []string{"A"}, Produced: []string{"B", "B"}}
+	if got, want := r.String(), "-A +B +B [K_A];"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	r2 := &Reaction{Rate: "K_CD", Consumed: []string{"C", "D"}, Produced: []string{"E"}}
+	if got, want := r2.String(), "-C -D +E [K_CD];"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestInternSMILES(t *testing.T) {
+	n := New()
+	if _, err := n.AddSpecies("A", "CC", 0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := n.InternSMILES("CC")
+	if err != nil || s.Name != "A" {
+		t.Errorf("intern existing = %v, %v", s, err)
+	}
+	s2, err := n.InternSMILES("CCC")
+	if err != nil || !s2.Auto || s2.Name != "X1" {
+		t.Errorf("intern new = %+v, %v", s2, err)
+	}
+	s3, err := n.InternSMILES("CCC")
+	if err != nil || s3 != s2 {
+		t.Errorf("re-intern = %v, %v", s3, err)
+	}
+}
+
+// TestGenerateFig3 reproduces the paper's Fig. 3 network from RDL source:
+// A decomposes into two identical radicals (reaction 1, -A +B +B) and two
+// radicals combine (reaction 2, -C -D +E).
+func TestGenerateFig3(t *testing.T) {
+	prog, err := rdl.Parse(`
+species A = "[CH3:1][CH3:2]" init 1.0
+species B = "[CH3]"          init 0
+species C = "[CH2]C"         init 0.5
+species D = "[SH]"           init 0.5
+
+reaction Decompose {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_A
+}
+reaction Combine {
+    reactants C, D
+    connect 1:1 2:2
+    rate K_CD
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classes on C and D for Combine.
+	_ = prog
+	prog2, err := rdl.Parse(`
+species A = "[CH3:1][CH3:2]" init 1.0
+species B = "[CH3]"          init 0
+species C = "[CH2:1]C"       init 0.5
+species D = "[SH:2]"         init 0.5
+
+reaction Decompose {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_A
+}
+reaction Combine {
+    reactants C, D
+    connect 1:1 2:2
+    rate K_CD
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Generate(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Reactions) != 2 {
+		t.Fatalf("reactions:\n%s", net.Dump())
+	}
+	dec := net.Reactions[0]
+	if len(dec.Consumed) != 1 || dec.Consumed[0] != "A" {
+		t.Errorf("Decompose consumed = %v", dec.Consumed)
+	}
+	// Ethane with class labels splits into two [CH3:1] / [CH3:2]-labeled
+	// methyls, which are distinct species from unlabeled B; they intern as
+	// auto species. What matters structurally: two produced fragments.
+	if len(dec.Produced) != 2 {
+		t.Errorf("Decompose produced = %v", dec.Produced)
+	}
+	comb := net.Reactions[1]
+	if len(comb.Consumed) != 2 || len(comb.Produced) != 1 {
+		t.Errorf("Combine = %v -> %v", comb.Consumed, comb.Produced)
+	}
+	rates := net.RateNames()
+	if len(rates) != 2 || rates[0] != "K_A" || rates[1] != "K_CD" {
+		t.Errorf("rates = %v", rates)
+	}
+}
+
+// TestGenerateScission exercises the paper's flagship context-sensitive
+// rule: break S–S bonds only when both sulfurs are at least three atoms
+// from the chain ends.
+func TestGenerateScission(t *testing.T) {
+	prog, err := rdl.Parse(`
+species Crosslink{n=2..8} = "C" + "S"*n + "C" init 0.1
+species Dangling{m=1..7}  = "C" + "S"*(m-1) + "[S]" init 0
+
+reaction Scission {
+    reactants Crosslink{n}
+    forall i = 3 .. n-3
+    disconnect 1:S[i] 1:S[i+1]
+    rate K_sc(n)
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Generate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=6: i=3 only. n=7: i=3,4. n=8: i=3,4,5. Total 6 instances.
+	if len(net.Reactions) != 6 {
+		t.Fatalf("got %d reactions, want 6:\n%s", len(net.Reactions), net.Dump())
+	}
+	// All products must be declared Dangling species, not auto species.
+	for _, r := range net.Reactions {
+		for _, p := range r.Produced {
+			if !strings.HasPrefix(p, "Dangling_") {
+				t.Errorf("reaction %s produced %q, want a Dangling variant", r.Name, p)
+			}
+		}
+	}
+	// The n=6,i=3 scission yields two Dangling_3.
+	r0 := net.Reactions[0]
+	if r0.Rate != "K_sc_6" {
+		t.Errorf("rate = %q, want K_sc_6", r0.Rate)
+	}
+	if len(r0.Produced) != 2 || r0.Produced[0] != "Dangling_3" || r0.Produced[1] != "Dangling_3" {
+		t.Errorf("products = %v, want [Dangling_3 Dangling_3]", r0.Produced)
+	}
+	// No auto species should have been created.
+	for _, s := range net.Species {
+		if s.Auto {
+			t.Errorf("unexpected auto species %s (%s)", s.Name, s.SMILES)
+		}
+	}
+}
+
+// TestGenerateSkipsInapplicable checks that rules quietly skip variants
+// where an action cannot apply (no hydrogens to remove).
+func TestGenerateSkipsInapplicable(t *testing.T) {
+	prog, err := rdl.Parse(`
+species A = "[C:1](F)(F)(F)F"  # carbon tetrafluoride: no H anywhere
+reaction Abstract {
+    reactants A
+    removeH 1:1
+    rate K_h
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Generate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Reactions) != 0 {
+		t.Errorf("inapplicable rule fired: %s", net.Dump())
+	}
+}
+
+// TestGenerateForbid checks forbidden products suppress the instance.
+func TestGenerateForbid(t *testing.T) {
+	src := `
+species A = "C[S:1][S:2]C"
+reaction Split {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_s
+}
+`
+	prog, err := rdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Generate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Reactions) != 1 {
+		t.Fatalf("without forbid: %d reactions", len(net.Reactions))
+	}
+	// The split yields two C[S:x] radicals; forbid one of them.
+	banned := net.Reactions[0].Produced[0]
+	smiles := net.SpeciesByName(banned).SMILES
+	prog2, err := rdl.Parse(src + "\nforbid \"" + smiles + "\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, err := Generate(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net2.Reactions) != 0 {
+		t.Errorf("forbidden product still produced: %s", net2.Dump())
+	}
+}
+
+// TestGenerateAmbiguousClass checks that a class label matching several
+// atoms aborts generation.
+func TestGenerateAmbiguousClass(t *testing.T) {
+	prog, err := rdl.Parse(`
+species A = "[S:1][S:1]"
+reaction R {
+    reactants A
+    removeH 1:1
+    rate K_r
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(prog); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("err = %v, want ambiguity error", err)
+	}
+}
+
+// TestGenerateBimolecularVariants: a radical capping every variant of a
+// family produces one reaction per variant with correct rate naming.
+func TestGenerateBimolecularVariants(t *testing.T) {
+	prog, err := rdl.Parse(`
+species Dangling{m=1..4} = "C" + "S"*(m-1) + "[S:1]" init 0
+species H2S = "[SH:2][H0:9]"  # placeholder to give a labelled partner
+reaction Cap {
+    reactants Dangling{m}, H2S
+    connect 1:1 2:2
+    rate K_cap
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [H0:9] is not valid in our SMILES subset (H atom with 0 H); use a
+	// methyl radical partner instead.
+	prog, err = rdl.Parse(`
+species Dangling{m=1..4} = "C" + "S"*(m-1) + "[S:1]" init 0
+species Methyl = "[CH3:2]" init 0.5
+reaction Cap {
+    reactants Dangling{m}, Methyl
+    connect 1:1 2:2
+    rate K_cap
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Generate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Reactions) != 4 {
+		t.Fatalf("got %d reactions, want 4:\n%s", len(net.Reactions), net.Dump())
+	}
+	for _, r := range net.Reactions {
+		if r.Rate != "K_cap" {
+			t.Errorf("rate = %q", r.Rate)
+		}
+		if len(r.Consumed) != 2 || len(r.Produced) != 1 {
+			t.Errorf("shape: %v -> %v", r.Consumed, r.Produced)
+		}
+	}
+}
+
+func TestDumpNumbersLines(t *testing.T) {
+	n := New()
+	n.AddSpecies("A", "", 0)
+	n.AddSpecies("B", "", 0)
+	n.AddReaction("r", "K_A", []string{"A"}, []string{"B"})
+	if got := n.Dump(); !strings.HasPrefix(got, "1. -A +B [K_A];") {
+		t.Errorf("Dump = %q", got)
+	}
+}
+
+func TestMassBalanceHoldsOnGenerated(t *testing.T) {
+	prog, err := rdl.Parse(`
+species Crosslink{n=2..8} = "C" + "S"*n + "C" init 0.1
+species Dangling{m=1..7}  = "C" + "S"*(m-1) + "[S]" init 0
+reaction Scission {
+    reactants Crosslink{n}
+    forall i = 3 .. n-3
+    disconnect 1:S[i] 1:S[i+1]
+    rate K_sc
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Generate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.CheckMassBalance(); err != nil {
+		t.Errorf("generated network unbalanced: %v", err)
+	}
+}
+
+func TestMassBalanceCatchesAtomLoss(t *testing.T) {
+	n := New()
+	n.AddSpecies("Disulfide", "CSSC", 1)
+	n.AddSpecies("Thiol", "CS", 0)
+	// Bogus reaction: CSSC -> CS loses one carbon and one sulfur.
+	n.AddReaction("bogus", "K_x", []string{"Disulfide"}, []string{"Thiol"})
+	err := n.CheckMassBalance()
+	if err == nil {
+		t.Fatal("atom-losing reaction passed the balance check")
+	}
+	if !strings.Contains(err.Error(), "does not conserve") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMassBalanceIgnoresHydrogenAndAbstract(t *testing.T) {
+	n := New()
+	n.AddSpecies("Methane", "C", 1)
+	n.AddSpecies("Methyl", "[CH3]", 0)
+	n.AddSpecies("Abstract", "", 0)
+	// H abstraction: heavy atoms balance, hydrogen is the implicit
+	// reservoir.
+	n.AddReaction("abst", "K_h", []string{"Methane"}, []string{"Methyl"})
+	// Reactions with abstract species are skipped.
+	n.AddReaction("abs2", "K_a", []string{"Abstract"}, []string{"Methane", "Methane"})
+	if err := n.CheckMassBalance(); err != nil {
+		t.Errorf("balance check failed: %v", err)
+	}
+}
+
+func TestGenerateReversible(t *testing.T) {
+	prog, err := rdl.Parse(`
+species A = "C[S:1][S:2]C"
+reaction Split {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_f reverse K_r
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Generate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Reactions) != 2 {
+		t.Fatalf("reactions = %d, want forward + reverse:\n%s", len(net.Reactions), net.Dump())
+	}
+	fwd, rev := net.Reactions[0], net.Reactions[1]
+	if rev.Rate != "K_r" || fwd.Rate != "K_f" {
+		t.Errorf("rates: %s / %s", fwd.Rate, rev.Rate)
+	}
+	if len(rev.Consumed) != len(fwd.Produced) || len(rev.Produced) != len(fwd.Consumed) {
+		t.Errorf("reverse is not the mirror: %s vs %s", fwd, rev)
+	}
+	// Detailed balance structure: the reverse of the reverse is the forward.
+	if rev.Consumed[0] != fwd.Produced[0] {
+		t.Errorf("reverse consumes %v, forward produces %v", rev.Consumed, fwd.Produced)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	n := New()
+	n.AddSpecies("A", "CC", 1)
+	n.AddSpecies("B", "", 0)
+	n.InternSMILES("CCC") // auto species X1
+	n.AddReaction("r", "K_A", []string{"A"}, []string{"B", "B"})
+	dot := n.DOT()
+	for _, want := range []string{
+		"digraph reactions",
+		`"A" [shape=ellipse]`,
+		`"X1" [shape=diamond]`,
+		`rxn0 [shape=box, label="K_A"]`,
+		`"A" -> rxn0`,
+		`rxn0 -> "B"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

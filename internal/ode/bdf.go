@@ -1,0 +1,506 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+
+	"rms/internal/linalg"
+)
+
+// BDF coefficients: y_{n+1} = Σ alpha[q][i]·y_{n-i} + h·beta[q]·f(t_{n+1}, y_{n+1}).
+var (
+	bdfAlpha = [6][]float64{
+		nil,
+		{1},
+		{4.0 / 3, -1.0 / 3},
+		{18.0 / 11, -9.0 / 11, 2.0 / 11},
+		{48.0 / 25, -36.0 / 25, 16.0 / 25, -3.0 / 25},
+		{300.0 / 137, -300.0 / 137, 200.0 / 137, -75.0 / 137, 12.0 / 137},
+	}
+	bdfBeta = [6]float64{0, 1, 2.0 / 3, 6.0 / 11, 12.0 / 25, 60.0 / 137}
+)
+
+// BDF is the Adams-Gear stiff solver: variable-order (1–5)
+// backward-differentiation formulas with quasi-constant step size, a
+// modified-Newton corrector with a lazily refreshed finite-difference
+// Jacobian, and polynomial history rescaling on step changes.
+type BDF struct {
+	f    Func
+	n    int
+	opts Options
+
+	stats Stats
+
+	// integration state
+	hist  [][]float64 // hist[i] = y at t - i*h
+	order int
+	h     float64
+
+	// continuation state: like IMSL's Adams-Gear state handle, an
+	// integration that starts exactly where the previous one ended
+	// continues with the accumulated history, order and step instead of
+	// restarting at order 1 — the usage pattern of the estimator's
+	// record-to-record loop (Fig. 9).
+	initialized bool
+	tInt        float64   // internal time of hist[0] (may be past tCur)
+	tCur        float64   // endpoint reported by the last Integrate
+	yOut        []float64 // y reported at tCur (continuation check)
+
+	// Newton workspace
+	jac      *linalg.Matrix // cached df/dy
+	jacFresh bool
+	lu       *linalg.LU
+	luH      float64 // h*beta the current factorization was built for
+	f0, f1   []float64
+	ypred    []float64
+	ycorr    []float64
+	rhsConst []float64
+	residual []float64
+	scratch  []float64
+	streak   int // consecutive accepted steps at the current order
+}
+
+// NewBDF returns an Adams-Gear solver for an n-dimensional system.
+func NewBDF(f Func, n int, opts Options) *BDF {
+	return &BDF{
+		f: f, n: n, opts: opts,
+		f0:       make([]float64, n),
+		f1:       make([]float64, n),
+		ypred:    make([]float64, n),
+		ycorr:    make([]float64, n),
+		rhsConst: make([]float64, n),
+		residual: make([]float64, n),
+		scratch:  make([]float64, n),
+	}
+}
+
+// Stats returns cumulative work counters.
+func (s *BDF) Stats() Stats { return s.stats }
+
+// Integrate advances y from t0 to t1 in place.
+//
+// Like the production stiff codes (and IMSL's Adams-Gear state handle),
+// the solver free-runs: it steps with its natural step size until the
+// internal time covers t1 and reports y(t1) by interpolating the history
+// polynomial. A following call that starts exactly at the previous
+// endpoint continues with the accumulated history, order and step — the
+// estimator's record-to-record loop (Fig. 9) costs interpolations, not
+// solver restarts. FixedStep mode (a testing hook) keeps exact-grid
+// stepping without continuation.
+func (s *BDF) Integrate(t0, t1 float64, y []float64) error {
+	if len(y) != s.n {
+		return errWrap(errShape(len(y), s.n), t0)
+	}
+	if t1 == t0 {
+		return nil
+	}
+	o := s.opts.withDefaults(t0, t1)
+	dir := 1.0
+	if t1 < t0 {
+		dir = -1
+	}
+	if o.FixedStep > 0 {
+		return s.integrateFixed(t0, t1, dir, o, y)
+	}
+	if !s.canContinue(t0, t1, y, dir) {
+		s.reset(t0, y, o, dir)
+	}
+	// Step until the internal time covers t1.
+	for steps := 0; (s.tInt-t1)*dir < 0 && !reached(s.tInt, t1, dir); steps++ {
+		if steps > o.MaxSteps {
+			s.initialized = false
+			return errWrap(ErrTooManySteps, s.tInt)
+		}
+		accepted, errNorm, err := s.attemptStep(s.tInt, o)
+		if err != nil {
+			s.initialized = false
+			return errWrap(err, s.tInt)
+		}
+		if accepted {
+			s.tInt += s.h
+			s.stats.Steps++
+			s.streak++
+			s.adaptOrderAndStep(errNorm, o)
+		} else {
+			s.stats.Rejected++
+			s.streak = 0
+			// Shrink; drop the order if failures persist at order > 1.
+			shrink := math.Max(0.1, math.Min(0.5, 0.9*math.Pow(errNorm, -1.0/float64(s.order+1))))
+			if s.order > 1 && errNorm > 100 {
+				s.order--
+			}
+			s.rescaleHistory(shrink)
+			s.h *= shrink
+			if math.Abs(s.h) < o.MinStep {
+				s.initialized = false
+				return errWrap(ErrStepTooSmall, s.tInt)
+			}
+		}
+	}
+	// Interpolate the solution at t1 (x in units of h behind the newest
+	// history point; the last step brackets t1, so x stays within the
+	// stored history).
+	x := (t1 - s.tInt) / s.h
+	q := s.order
+	if q+1 > len(s.hist) {
+		q = len(s.hist) - 1
+	}
+	s.extrapolate(q, x, y)
+	s.initialized = true
+	s.tCur = t1
+	s.yOut = append(s.yOut[:0], y...)
+	return nil
+}
+
+// reset discards all state and starts a fresh integration at (t0, y).
+func (s *BDF) reset(t0 float64, y []float64, o Options, dir float64) {
+	s.h = o.InitialStep * dir
+	if o.MaxStep < math.Abs(s.h) {
+		s.h = o.MaxStep * dir
+	}
+	s.order = 1
+	s.hist = s.hist[:0]
+	s.hist = append(s.hist, append([]float64(nil), y...))
+	s.tInt = t0
+	s.jacFresh = false
+	s.lu = nil
+	s.streak = 0
+	s.initialized = false
+}
+
+// canContinue reports whether this call resumes exactly where the last
+// one ended, so the accumulated history remains valid.
+func (s *BDF) canContinue(t0, t1 float64, y []float64, dir float64) bool {
+	if !s.initialized || len(s.hist) == 0 {
+		return false
+	}
+	if t0 != s.tCur {
+		return false
+	}
+	// The caller must not have touched the state between calls, and the
+	// direction must match the history grid.
+	for i := range y {
+		if y[i] != s.yOut[i] {
+			return false
+		}
+	}
+	return dir == sign(s.h)
+}
+
+// integrateFixed is the exact-grid fixed-step path used by the
+// convergence-order tests.
+func (s *BDF) integrateFixed(t0, t1, dir float64, o Options, y []float64) error {
+	s.reset(t0, y, o, dir)
+	s.h = o.FixedStep * dir
+	t := t0
+	if o.FixedOrder > 1 {
+		// Populate the startup history with a high-accuracy Runge-Kutta
+		// starter so the measured order is the BDF formula's, not the
+		// order-1 startup's.
+		starter := NewRKV65(s.f, s.n, Options{RTol: 1e-12, ATol: 1e-14})
+		ys := append([]float64(nil), y...)
+		for i := 1; i < o.FixedOrder; i++ {
+			if err := starter.Integrate(t, t+s.h, ys); err != nil {
+				return errWrap(err, t)
+			}
+			t += s.h
+			s.hist = append([][]float64{append([]float64(nil), ys...)}, s.hist...)
+		}
+		s.order = o.FixedOrder
+	}
+	for steps := 0; ; steps++ {
+		if steps > o.MaxSteps {
+			return errWrap(ErrTooManySteps, t)
+		}
+		if reached(t, t1, dir) {
+			copy(y, s.hist[0])
+			return nil
+		}
+		if (t+s.h-t1)*dir > 0 {
+			s.rescaleHistory((t1 - t) / s.h)
+			s.h = t1 - t
+		}
+		accepted, _, err := s.attemptStep(t, o)
+		if err != nil {
+			return errWrap(err, t)
+		}
+		if !accepted {
+			return errWrap(ErrStepTooSmall, t)
+		}
+		t += s.h
+		s.stats.Steps++
+		s.adaptOrderAndStep(0, o)
+	}
+}
+
+// attemptStep tries one BDF step of the current order and size; on Newton
+// convergence it computes the error estimate and, if acceptable, shifts
+// the history. It returns (accepted, errNorm).
+func (s *BDF) attemptStep(t float64, o Options) (bool, float64, error) {
+	q := s.order
+	if q > len(s.hist) {
+		q = len(s.hist)
+	}
+	yn := s.hist[0]
+	tNew := t + s.h
+
+	// Predictor: extrapolate the interpolating polynomial through the
+	// history to the new time (x measured in steps: hist[i] at -i, target +1).
+	s.extrapolate(q, 1.0, s.ypred)
+
+	// Constant part of the corrector equation.
+	for i := range s.rhsConst {
+		s.rhsConst[i] = 0
+	}
+	for i := 0; i < q; i++ {
+		linalg.Axpy(bdfAlpha[q][i], s.hist[i], s.rhsConst)
+	}
+	hb := s.h * bdfBeta[q]
+
+	ok, err := s.newton(tNew, hb, o)
+	if err != nil {
+		return false, 0, err
+	}
+	if !ok {
+		// Newton failed with a fresh Jacobian: reduce the step sharply.
+		s.rescaleHistory(0.25)
+		s.h *= 0.25
+		s.stats.Rejected++
+		if math.Abs(s.h) < o.MinStep {
+			return false, 0, ErrStepTooSmall
+		}
+		return false, math.Inf(1), nil
+	}
+
+	// Local error estimate from the corrector-predictor difference.
+	for i := range s.scratch {
+		s.scratch[i] = (s.ycorr[i] - s.ypred[i]) / float64(q+1)
+	}
+	errNorm := weightedNorm(s.scratch, yn, s.ycorr, o.ATol, o.RTol)
+	if o.FixedStep > 0 {
+		errNorm = 0 // fixed-step mode accepts unconditionally
+	}
+	if errNorm > 1 {
+		return false, errNorm, nil
+	}
+	// Accept: shift history.
+	maxHist := 6
+	newHist := make([]float64, s.n)
+	copy(newHist, s.ycorr)
+	s.hist = append([][]float64{newHist}, s.hist...)
+	if len(s.hist) > maxHist {
+		s.hist = s.hist[:maxHist]
+	}
+	return true, errNorm, nil
+}
+
+// newton runs the modified-Newton corrector for
+// y - hb·f(t,y) - rhsConst = 0, starting from the predictor.
+func (s *BDF) newton(t, hb float64, o Options) (bool, error) {
+	copy(s.ycorr, s.ypred)
+	refreshed := false
+	for pass := 0; pass < 2; pass++ {
+		if s.lu == nil || s.luH != hb || (pass == 1 && !refreshed) {
+			if pass == 1 || !s.jacFresh {
+				if err := s.buildJacobian(t); err != nil {
+					return false, err
+				}
+				refreshed = true
+			}
+			if err := s.factor(hb); err != nil {
+				// Singular iteration matrix: treat as Newton failure so the
+				// step size shrinks.
+				s.lu = nil
+				return false, nil
+			}
+		}
+		converged := true
+		for iter := 0; iter < 6; iter++ {
+			s.stats.NewtonIters++
+			s.f(t, s.ycorr, s.f1)
+			s.stats.FEvals++
+			for i := range s.residual {
+				s.residual[i] = s.ycorr[i] - hb*s.f1[i] - s.rhsConst[i]
+			}
+			delta, err := s.lu.Solve(s.residual)
+			if err != nil {
+				s.lu = nil
+				return false, nil
+			}
+			for i := range s.ycorr {
+				s.ycorr[i] -= delta[i]
+			}
+			dn := weightedNorm(delta, s.ycorr, s.ycorr, o.ATol, o.RTol)
+			if dn < 0.3 {
+				return true, nil
+			}
+			if iter == 5 {
+				converged = false
+			}
+		}
+		if converged {
+			return true, nil
+		}
+		// Retry once with a fresh Jacobian.
+		copy(s.ycorr, s.ypred)
+		if refreshed {
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+// buildJacobian computes df/dy at (t, hist[0]) — analytically when the
+// caller supplied a Jacobian, by forward differences otherwise.
+func (s *BDF) buildJacobian(t float64) error {
+	if s.jac == nil {
+		s.jac = linalg.NewMatrix(s.n, s.n)
+	}
+	y := s.hist[0]
+	if s.opts.Jacobian != nil {
+		s.opts.Jacobian(t, y, s.jac)
+		s.jacFresh = true
+		s.stats.JEvals++
+		return nil
+	}
+	s.f(t, y, s.f0)
+	s.stats.FEvals++
+	copy(s.scratch, y)
+	const sqrtEps = 1.4901161193847656e-08
+	for j := 0; j < s.n; j++ {
+		d := sqrtEps * math.Max(math.Abs(y[j]), 1e-5)
+		s.scratch[j] = y[j] + d
+		s.f(t, s.scratch, s.f1)
+		s.stats.FEvals++
+		inv := 1 / d
+		for i := 0; i < s.n; i++ {
+			s.jac.Set(i, j, (s.f1[i]-s.f0[i])*inv)
+		}
+		s.scratch[j] = y[j]
+	}
+	s.jacFresh = true
+	s.stats.JEvals++
+	return nil
+}
+
+// factor builds and factors the iteration matrix M = I - hb·J.
+func (s *BDF) factor(hb float64) error {
+	m := linalg.NewMatrix(s.n, s.n)
+	for i := 0; i < s.n; i++ {
+		for j := 0; j < s.n; j++ {
+			v := -hb * s.jac.At(i, j)
+			if i == j {
+				v += 1
+			}
+			m.Set(i, j, v)
+		}
+	}
+	lu, err := m.LU()
+	if err != nil {
+		return err
+	}
+	s.lu = lu
+	s.luH = hb
+	s.stats.Factorizations++
+	return nil
+}
+
+// adaptOrderAndStep grows the order up the ladder after a streak of
+// successes and rescales the step from the error estimate.
+func (s *BDF) adaptOrderAndStep(errNorm float64, o Options) {
+	if o.FixedOrder > 0 {
+		if s.order < o.FixedOrder && len(s.hist) > s.order {
+			s.order++
+		}
+	} else if s.order < 5 && s.streak > s.order+1 && len(s.hist) > s.order {
+		s.order++
+		s.streak = 0
+	}
+	if o.FixedStep > 0 {
+		return
+	}
+	factor := 0.9 * math.Pow(math.Max(errNorm, 1e-10), -1.0/float64(s.order+1))
+	factor = math.Min(2.5, math.Max(0.5, factor))
+	if factor > 1.1 || factor < 0.9 {
+		s.rescaleHistory(factor)
+		s.h *= factor
+		if math.Abs(s.h) > o.MaxStep {
+			s.rescaleHistory(o.MaxStep / math.Abs(s.h))
+			s.h = o.MaxStep * sign(s.h)
+		}
+		// Step changes invalidate the factorization's h·beta.
+		s.luH = math.NaN()
+		s.jacFresh = false
+	}
+}
+
+// rescaleHistory re-samples the stored history polynomial onto a grid
+// with spacing ratio·h, keeping the current point fixed.
+func (s *BDF) rescaleHistory(ratio float64) {
+	m := len(s.hist)
+	if m <= 1 || ratio == 1 {
+		return
+	}
+	old := s.hist
+	s.hist = make([][]float64, m)
+	s.hist[0] = old[0]
+	for i := 1; i < m; i++ {
+		v := make([]float64, s.n)
+		s.hist[i] = v
+	}
+	// Neville interpolation per component: old[j] at x = -j, new grid at
+	// x = -i*ratio.
+	work := make([]float64, m)
+	for c := 0; c < s.n; c++ {
+		for i := 1; i < m; i++ {
+			x := -float64(i) * ratio
+			for j := 0; j < m; j++ {
+				work[j] = old[j][c]
+			}
+			for level := 1; level < m; level++ {
+				for j := 0; j < m-level; j++ {
+					xj := -float64(j)
+					xjl := -float64(j + level)
+					work[j] = ((x-xjl)*work[j] - (x-xj)*work[j+1]) / (xj - xjl)
+				}
+			}
+			s.hist[i][c] = work[0]
+		}
+	}
+	s.luH = math.NaN()
+}
+
+// extrapolate evaluates the degree-(q) history polynomial at x (in units
+// of h ahead of the newest point) into dst.
+func (s *BDF) extrapolate(q int, x float64, dst []float64) {
+	m := q + 1
+	if m > len(s.hist) {
+		m = len(s.hist)
+	}
+	work := make([]float64, m)
+	for c := 0; c < s.n; c++ {
+		for j := 0; j < m; j++ {
+			work[j] = s.hist[j][c]
+		}
+		for level := 1; level < m; level++ {
+			for j := 0; j < m-level; j++ {
+				xj := -float64(j)
+				xjl := -float64(j + level)
+				work[j] = ((x-xjl)*work[j] - (x-xj)*work[j+1]) / (xj - xjl)
+			}
+		}
+		dst[c] = work[0]
+	}
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// String summarizes the solver configuration for diagnostics.
+func (s *BDF) String() string {
+	return fmt.Sprintf("BDF(n=%d, order=%d)", s.n, s.order)
+}

@@ -1,0 +1,123 @@
+// Package ode provides the suite's initial-value-problem solvers,
+// standing in for the IMSL C library routines the paper's runtime calls:
+//
+//   - RKV65 corresponds to imsl_f_ode_runge_kutta, the Runge–Kutta–Verner
+//     fifth- and sixth-order embedded pair (Verner's DVERK tableau),
+//     efficient for non-stiff systems;
+//   - BDF corresponds to imsl_f_ode_adams_gear, a variable-order
+//     backward-differentiation (Gear) method for stiff systems — and
+//     chemical kinetics, where species complete their reactions in widely
+//     separated epochs, is stiff, so the parameter estimator uses BDF.
+//
+// Both solvers advance a state vector in place with adaptive step-size
+// control against mixed absolute/relative tolerances.
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rms/internal/linalg"
+)
+
+// Func evaluates dy = f(t, y). dy is preallocated by the solver.
+type Func func(t float64, y, dy []float64)
+
+// Options configures a solver. Zero values select the documented
+// defaults.
+type Options struct {
+	// RTol and ATol are the relative and absolute error tolerances
+	// (defaults 1e-6 and 1e-9).
+	RTol, ATol float64
+	// InitialStep seeds the step size (default: derived from the interval).
+	InitialStep float64
+	// MinStep aborts the integration when step control pushes below it
+	// (default: interval × 1e-14).
+	MinStep float64
+	// MaxStep caps the step (default: unlimited — the error control
+	// governs; BDF free-runs past call endpoints and interpolates).
+	MaxStep float64
+	// MaxSteps aborts runaway integrations (default 10 million).
+	MaxSteps int
+	// FixedStep disables adaptive control and uses exactly this step
+	// (testing hook for convergence-order measurements).
+	FixedStep float64
+	// FixedOrder pins the BDF order to 1..5 (testing hook; 0 = adaptive).
+	FixedOrder int
+	// Jacobian, when non-nil, supplies an analytic ∂f/∂y for the BDF
+	// solver's Newton iteration in place of finite differences. dst is
+	// n×n and owned by the solver.
+	Jacobian func(t float64, y []float64, dst *linalg.Matrix)
+}
+
+func (o Options) withDefaults(t0, t1 float64) Options {
+	span := math.Abs(t1 - t0)
+	if o.RTol == 0 {
+		o.RTol = 1e-6
+	}
+	if o.ATol == 0 {
+		o.ATol = 1e-9
+	}
+	if o.InitialStep == 0 {
+		o.InitialStep = span / 100
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = math.Inf(1)
+	}
+	if o.MinStep == 0 {
+		o.MinStep = span * 1e-14
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 10_000_000
+	}
+	return o
+}
+
+// Stats reports the work an integration performed.
+type Stats struct {
+	// Steps and Rejected count accepted and rejected attempts.
+	Steps, Rejected int
+	// FEvals counts right-hand-side evaluations.
+	FEvals int
+	// JEvals and Factorizations count Jacobian builds and LU factorings
+	// (BDF only).
+	JEvals, Factorizations int
+	// NewtonIters counts corrector iterations (BDF only).
+	NewtonIters int
+}
+
+// ErrStepTooSmall reports step-size underflow (usually an unstable or
+// inconsistent problem, or tolerances beyond reach).
+var ErrStepTooSmall = errors.New("ode: step size underflow")
+
+// ErrTooManySteps reports exceeding Options.MaxSteps.
+var ErrTooManySteps = errors.New("ode: too many steps")
+
+// errWrap annotates solver errors with the time reached.
+func errWrap(err error, t float64) error {
+	return fmt.Errorf("%w (at t=%g)", err, t)
+}
+
+// reached reports whether t has arrived at t1 (in direction dir) up to a
+// few ulps — integrating the sub-ulp remainder would make no progress and
+// spin the step loop.
+func reached(t, t1, dir float64) bool {
+	if (t-t1)*dir >= 0 {
+		return true
+	}
+	tol := 4 * 2.220446049250313e-16 * math.Max(math.Abs(t), math.Abs(t1))
+	return math.Abs(t1-t) <= tol
+}
+
+// weightedNorm is the standard mixed-tolerance RMS norm used for error
+// control: ||e|| = sqrt(mean((e_i / (atol + rtol*|y_i|))^2)).
+func weightedNorm(err, y, ynew []float64, atol, rtol float64) float64 {
+	s := 0.0
+	for i := range err {
+		sc := atol + rtol*math.Max(math.Abs(y[i]), math.Abs(ynew[i]))
+		e := err[i] / sc
+		s += e * e
+	}
+	return math.Sqrt(s / float64(len(err)))
+}

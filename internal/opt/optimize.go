@@ -1,0 +1,219 @@
+package opt
+
+import (
+	"errors"
+
+	"rms/internal/eqgen"
+	"rms/internal/expr"
+)
+
+// Options selects which passes run. The zero value performs no
+// optimization (the Table 1 "without algebraic/CSE optimizations"
+// configuration: raw equations with duplicate contributions intact, as
+// Fig. 5 lists them).
+type Options struct {
+	// Simplify runs the §3.1 equation simplification: like terms merge
+	// into single products with summed coefficients. (The equation table
+	// maintains this form on the fly; the unoptimized baseline bypasses
+	// it.)
+	Simplify bool
+	// Distribute runs the §3.2 distributive optimization (requires
+	// Simplify: Fig. 6 consumes the merged sum-of-products form).
+	Distribute bool
+	// CSE runs the §3.3 common-subexpression elimination. As in the paper,
+	// it requires Distribute (the canonical factored form is what makes
+	// prefix matching complete).
+	CSE bool
+	// CSEProducts extends CSE to product factor lists (see CSEConfig).
+	CSEProducts bool
+	// ShareFluxes freezes reaction fluxes that occur in several equations
+	// so product CSE computes each exactly once (requires Distribute and
+	// CSEProducts). An ablation option, not part of Full(): on the
+	// vulcanization workloads the factored family sums the Fig. 6 pass
+	// finds already share the same work at lower cost, and freezing
+	// trades one multiply per flux for extra coefficient multiplies and
+	// flattened additions (the ablation benchmarks quantify this).
+	ShareFluxes bool
+	// PaperScan uses the quadratic matching scan (see CSEConfig).
+	PaperScan bool
+	// Hoist moves subexpressions over literals and rate constants only
+	// into a prelude evaluated once per rate-constant vector (see
+	// hoistKInvariants). Requires Simplify.
+	Hoist bool
+}
+
+// Full returns the paper's production configuration: all passes on,
+// product matching enabled, hashed matching.
+func Full() Options {
+	return Options{Simplify: true, Distribute: true, CSE: true, CSEProducts: true, Hoist: true}
+}
+
+// Paper returns the paper-faithful configuration: §3.1 simplification,
+// the Fig. 6 distributive optimization and the Fig. 7 sum-based CSE, with
+// neither the product-matching nor the flux-sharing extensions.
+func Paper() Options {
+	return Options{Simplify: true, Distribute: true, CSE: true}
+}
+
+// Optimized is an optimized ODE system ready for code generation:
+// temporary definitions in emission order followed by one right-hand-side
+// tree per species equation.
+type Optimized struct {
+	// Species, Rates and Y0 mirror the source system.
+	Species []string
+	Rates   []string
+	Y0      []float64
+	// Temps are the compiler temporaries, in def-before-use order. The
+	// first NumPrelude entries form the prelude: they depend only on the
+	// rate constants and are evaluated once per rate vector, not once per
+	// right-hand-side evaluation.
+	Temps []TempDef
+	// NumPrelude counts the leading rate-only temporaries.
+	NumPrelude int
+	// RHS holds the optimized right-hand side of each equation, aligned
+	// with Species.
+	RHS []expr.Node
+}
+
+// ErrCSENeedsDistribute reports the unsupported pass combination; the
+// paper notes "we cannot run the CSE optimization without first running
+// the algebraic optimizations".
+var ErrCSENeedsDistribute = errors.New("opt: CSE requires the distributive optimization")
+
+// ErrDistributeNeedsSimplify reports a distributive pass requested over
+// unmerged equations; Fig. 6 consumes the §3.1-simplified form.
+var ErrDistributeNeedsSimplify = errors.New("opt: the distributive optimization requires equation simplification")
+
+// ErrShareFluxesNeedsCSE reports flux sharing without the passes that
+// realize it: frozen fluxes only pay off when product CSE unifies them.
+var ErrShareFluxesNeedsCSE = errors.New("opt: flux sharing requires Distribute, CSE and CSEProducts")
+
+// ErrHoistNeedsSimplify reports invariant hoisting requested over the raw
+// unmerged equations, whose coefficients are all ±1 — there is nothing to
+// hoist, and the raw baseline must stay untouched.
+var ErrHoistNeedsSimplify = errors.New("opt: invariant hoisting requires equation simplification")
+
+// sharedFluxKeys returns the product keys (variable parts) that occur in
+// two or more places across the simplified system — the reaction fluxes
+// worth computing once.
+func sharedFluxKeys(sys *eqgen.System) map[string]bool {
+	count := make(map[string]int)
+	for _, eq := range sys.Equations {
+		for _, p := range eq.RHS.Products() {
+			if p.Degree() >= 2 {
+				count[p.Key()]++
+			}
+		}
+	}
+	frozen := make(map[string]bool)
+	for k, c := range count {
+		if c >= 2 {
+			frozen[k] = true
+		}
+	}
+	return frozen
+}
+
+// Optimize runs the selected passes over a generated ODE system.
+func Optimize(sys *eqgen.System, o Options) (*Optimized, error) {
+	if o.CSE && !o.Distribute {
+		return nil, ErrCSENeedsDistribute
+	}
+	if o.Distribute && !o.Simplify {
+		return nil, ErrDistributeNeedsSimplify
+	}
+	if o.ShareFluxes && !(o.Distribute && o.CSE && o.CSEProducts) {
+		return nil, ErrShareFluxesNeedsCSE
+	}
+	if o.Hoist && !o.Simplify {
+		return nil, ErrHoistNeedsSimplify
+	}
+	z := &Optimized{
+		Species: sys.Species,
+		Rates:   sys.Rates,
+		Y0:      sys.Y0,
+		RHS:     make([]expr.Node, len(sys.Equations)),
+	}
+	var frozen map[string]bool
+	if o.ShareFluxes {
+		frozen = sharedFluxKeys(sys)
+	}
+	for i, eq := range sys.Equations {
+		switch {
+		case o.Distribute:
+			z.RHS[i] = DistOptShared(eq.RHS, frozen)
+		case o.Simplify:
+			z.RHS[i] = eq.RHS.Node()
+		default:
+			z.RHS[i] = eqgen.RawNode(eq.Raw)
+		}
+	}
+	if o.CSE {
+		res := CSE(z.RHS, CSEConfig{Products: o.CSEProducts, PaperScan: o.PaperScan})
+		z.Temps = res.Temps
+		z.RHS = res.RHS
+	}
+	if o.Hoist {
+		hoistKInvariants(z)
+	}
+	return z, nil
+}
+
+// CountOps returns the static arithmetic operation counts of the
+// per-evaluation code: main temporaries plus equation bodies. Prelude
+// temporaries run once per rate vector, not per evaluation, and are
+// reported by PreludeOps. Stores into temporaries and into the dy vector
+// are not arithmetic and are not counted, matching Table 1's accounting.
+func (z *Optimized) CountOps() (muls, adds int) {
+	for _, t := range z.Temps[z.NumPrelude:] {
+		m, a := expr.CountOps(t.Body)
+		muls += m
+		adds += a
+	}
+	for _, r := range z.RHS {
+		m, a := expr.CountOps(r)
+		muls += m
+		adds += a
+	}
+	return muls, adds
+}
+
+// PreludeOps returns the operation counts of the once-per-rate-vector
+// prelude.
+func (z *Optimized) PreludeOps() (muls, adds int) {
+	for _, t := range z.Temps[:z.NumPrelude] {
+		m, a := expr.CountOps(t.Body)
+		muls += m
+		adds += a
+	}
+	return muls, adds
+}
+
+// NumTemps returns the number of emitted temporaries.
+func (z *Optimized) NumTemps() int { return len(z.Temps) }
+
+// Eval computes dy/dt by direct tree interpretation, evaluating
+// temporaries in order first. It is the reference semantics used by the
+// differential tests; production evaluation compiles to a tape (package
+// codegen).
+func (z *Optimized) Eval(y []float64, k map[string]float64) []float64 {
+	env := make(map[string]float64, len(y)+len(k))
+	for i, name := range z.Species {
+		env[name] = y[i]
+	}
+	for name, v := range k {
+		env[name] = v
+	}
+	temps := make([]float64, len(z.Temps))
+	for i, t := range z.Temps {
+		if t.ID != i {
+			panic("opt: temp defs out of order")
+		}
+		temps[i] = t.Body.Eval(env, temps)
+	}
+	dy := make([]float64, len(z.RHS))
+	for i, r := range z.RHS {
+		dy[i] = r.Eval(env, temps)
+	}
+	return dy
+}

@@ -1,0 +1,308 @@
+// Package rcip is the Rate Constant Information Processor: the component
+// that takes the chemist's kinetic-parameter definitions — some constants
+// defined directly as numbers (obtained from quantum-chemistry
+// calculations à la Gaussian '03), others as arithmetic expressions of
+// those — evaluates them, attaches optimization bounds, and associates
+// the constants with the reaction network.
+//
+// Crucially for the optimizer, the RCIP renames rate constants based on
+// common values (§3.3): two constants defined to the same value become
+// one name, so the algebraic optimizer can treat a variable's name as a
+// proxy for its value and merge the corresponding terms.
+//
+// The input language, one statement per line ('#' comments):
+//
+//	K_A  = 5
+//	K_B  = K_A * 2 + 1
+//	K_CD = 11                      # same value as K_B: unified
+//	K_sc in [0.01, 10] start 0.5   # bounds for the parameter estimator
+package rcip
+
+import (
+	"fmt"
+	"sort"
+
+	"rms/internal/expr"
+	"rms/internal/network"
+	"rms/internal/rdl"
+)
+
+// Bound is a chemist-supplied constraint for the non-linear optimizer.
+type Bound struct {
+	Lower, Upper float64
+	// Start is the initial guess (defaults to the midpoint).
+	Start float64
+}
+
+// Table is the processed rate-constant information.
+type Table struct {
+	// Values holds the evaluated value of every defined constant.
+	Values map[string]float64
+	// Bounds holds the estimation bounds for constants that have them.
+	Bounds map[string]Bound
+	// Canonical maps every defined name to its value-class
+	// representative: the canonically smallest name among those sharing a
+	// value.
+	Canonical map[string]string
+	// order preserves definition order for deterministic reporting.
+	order []string
+}
+
+// Parse processes RCIP input.
+func Parse(src string) (*Table, error) {
+	toks, err := rdl.LexAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("rcip: %w", err)
+	}
+	t := &Table{
+		Values:    make(map[string]float64),
+		Bounds:    make(map[string]Bound),
+		Canonical: make(map[string]string),
+	}
+	p := &parser{toks: toks, table: t}
+	for !p.eof() {
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+	t.unifyByValue()
+	return t, nil
+}
+
+type parser struct {
+	toks  []rdl.Token
+	pos   int
+	table *Table
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) cur() rdl.Token {
+	if p.eof() {
+		return rdl.Token{Kind: rdl.TokEOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() rdl.Token {
+	t := p.cur()
+	if !p.eof() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("rcip:%d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) statement() error {
+	name := p.next()
+	if name.Kind != rdl.TokIdent {
+		return p.errf("expected a rate-constant name, found %v", name)
+	}
+	if !expr.IsRateConstant(name.Text) {
+		return p.errf("%q is not a rate-constant name (K/k prefix)", name.Text)
+	}
+	switch t := p.next(); t.Kind {
+	case rdl.TokAssign:
+		if _, dup := p.table.Values[name.Text]; dup {
+			return p.errf("%q defined twice", name.Text)
+		}
+		v, err := p.expression()
+		if err != nil {
+			return err
+		}
+		p.table.Values[name.Text] = v
+		p.table.order = append(p.table.order, name.Text)
+		return nil
+	case rdl.TokIdent:
+		if t.Text != "in" {
+			return p.errf("expected '=' or 'in', found %q", t.Text)
+		}
+		return p.boundStmt(name.Text)
+	default:
+		return p.errf("expected '=' or 'in' after %q", name.Text)
+	}
+}
+
+func (p *parser) boundStmt(name string) error {
+	if t := p.next(); t.Kind != rdl.TokLBracket {
+		return p.errf("expected '[' after 'in'")
+	}
+	lo, err := p.number()
+	if err != nil {
+		return err
+	}
+	if t := p.next(); t.Kind != rdl.TokComma {
+		return p.errf("expected ',' between bounds")
+	}
+	hi, err := p.number()
+	if err != nil {
+		return err
+	}
+	if t := p.next(); t.Kind != rdl.TokRBracket {
+		return p.errf("expected ']' after bounds")
+	}
+	if lo > hi {
+		return p.errf("empty bound interval [%g, %g] for %q", lo, hi, name)
+	}
+	b := Bound{Lower: lo, Upper: hi, Start: (lo + hi) / 2}
+	if p.cur().Kind == rdl.TokIdent && p.cur().Text == "start" {
+		p.next()
+		s, err := p.number()
+		if err != nil {
+			return err
+		}
+		if s < lo || s > hi {
+			return p.errf("start %g outside [%g, %g] for %q", s, lo, hi, name)
+		}
+		b.Start = s
+	}
+	if _, dup := p.table.Bounds[name]; dup {
+		return p.errf("bounds for %q given twice", name)
+	}
+	p.table.Bounds[name] = b
+	return nil
+}
+
+func (p *parser) number() (float64, error) {
+	neg := false
+	if p.cur().Kind == rdl.TokMinus {
+		p.next()
+		neg = true
+	}
+	t := p.next()
+	var v float64
+	switch t.Kind {
+	case rdl.TokInt:
+		v = float64(t.Int)
+	case rdl.TokFloat:
+		v = t.Num
+	default:
+		return 0, p.errf("expected a number, found %v", t)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// expression := term (('+'|'-') term)*
+func (p *parser) expression() (float64, error) {
+	v, err := p.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.cur().Kind {
+		case rdl.TokPlus:
+			p.next()
+			r, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case rdl.TokMinus:
+			p.next()
+			r, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *parser) term() (float64, error) {
+	v, err := p.factor()
+	if err != nil {
+		return 0, err
+	}
+	for p.cur().Kind == rdl.TokStar {
+		p.next()
+		r, err := p.factor()
+		if err != nil {
+			return 0, err
+		}
+		v *= r
+	}
+	return v, nil
+}
+
+func (p *parser) factor() (float64, error) {
+	t := p.cur()
+	switch t.Kind {
+	case rdl.TokInt:
+		p.next()
+		return float64(t.Int), nil
+	case rdl.TokFloat:
+		p.next()
+		return t.Num, nil
+	case rdl.TokMinus:
+		p.next()
+		v, err := p.factor()
+		return -v, err
+	case rdl.TokIdent:
+		p.next()
+		v, ok := p.table.Values[t.Text]
+		if !ok {
+			return 0, fmt.Errorf("rcip:%d:%d: %q used before definition", t.Line, t.Col, t.Text)
+		}
+		return v, nil
+	case rdl.TokLParen:
+		p.next()
+		v, err := p.expression()
+		if err != nil {
+			return 0, err
+		}
+		if p.next().Kind != rdl.TokRParen {
+			return 0, p.errf("expected ')'")
+		}
+		return v, nil
+	}
+	return 0, p.errf("expected a constant expression, found %v", t)
+}
+
+// unifyByValue builds the canonical-name map: all constants sharing a
+// value map to the canonically smallest name of the class.
+func (t *Table) unifyByValue() {
+	classes := make(map[float64][]string)
+	for name, v := range t.Values {
+		classes[v] = append(classes[v], name)
+	}
+	for _, names := range classes {
+		sort.Slice(names, func(i, j int) bool { return expr.TermLess(names[i], names[j]) })
+		for _, n := range names {
+			t.Canonical[n] = names[0]
+		}
+	}
+}
+
+// CanonicalName returns the value-class representative of a defined
+// constant (the name itself if undefined).
+func (t *Table) CanonicalName(name string) string {
+	if c, ok := t.Canonical[name]; ok {
+		return c
+	}
+	return name
+}
+
+// Apply rewrites every reaction's rate constant to its canonical name,
+// returning the list of distinct canonical rates in use. Rates without a
+// definition are left alone (they stay free parameters for the
+// estimator); rates with definitions must evaluate.
+func (t *Table) Apply(net *network.Network) []string {
+	for _, r := range net.Reactions {
+		r.Rate = t.CanonicalName(r.Rate)
+	}
+	return net.RateNames()
+}
+
+// Defined lists the defined constants in definition order.
+func (t *Table) Defined() []string {
+	return append([]string(nil), t.order...)
+}

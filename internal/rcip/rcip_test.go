@@ -1,0 +1,152 @@
+package rcip
+
+import (
+	"strings"
+	"testing"
+
+	"rms/internal/network"
+)
+
+func TestParseValuesAndExpressions(t *testing.T) {
+	tab, err := Parse(`
+# kinetic constants from the quantum-chemistry runs
+K_A  = 5
+K_B  = K_A * 2 + 1
+K_CD = 11
+K_E  = (K_A + 1) * 2 - K_A
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"K_A": 5, "K_B": 11, "K_CD": 11, "K_E": 7}
+	for name, v := range want {
+		if got := tab.Values[name]; got != v {
+			t.Errorf("%s = %v, want %v", name, got, v)
+		}
+	}
+	if got := tab.Defined(); len(got) != 4 || got[0] != "K_A" || got[3] != "K_E" {
+		t.Errorf("Defined = %v", got)
+	}
+}
+
+func TestValueUnification(t *testing.T) {
+	tab, err := Parse(`
+K_A  = 5
+K_B  = 11
+K_CD = 11
+K_z  = 2 + 9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K_B, K_CD and K_z share the value 11; the canonically smallest name
+	// (K_B) represents the class.
+	for _, name := range []string{"K_B", "K_CD", "K_z"} {
+		if got := tab.CanonicalName(name); got != "K_B" {
+			t.Errorf("canonical(%s) = %s, want K_B", name, got)
+		}
+	}
+	if got := tab.CanonicalName("K_A"); got != "K_A" {
+		t.Errorf("canonical(K_A) = %s", got)
+	}
+	if got := tab.CanonicalName("K_undefined"); got != "K_undefined" {
+		t.Errorf("canonical of undefined = %s", got)
+	}
+}
+
+func TestApplyRenamesNetworkRates(t *testing.T) {
+	tab, err := Parse("K_A = 3\nK_B = 3\nK_C = 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := network.New()
+	n.AddSpecies("X", "", 1)
+	n.AddSpecies("Y", "", 0)
+	n.AddReaction("r1", "K_A", []string{"X"}, []string{"Y"})
+	n.AddReaction("r2", "K_B", []string{"Y"}, []string{"X"})
+	n.AddReaction("r3", "K_C", []string{"X"}, []string{"Y"})
+	rates := tab.Apply(n)
+	if len(rates) != 2 || rates[0] != "K_A" || rates[1] != "K_C" {
+		t.Errorf("rates after Apply = %v, want [K_A K_C]", rates)
+	}
+	if n.Reactions[1].Rate != "K_A" {
+		t.Errorf("r2 rate = %s, want K_A (unified with K_B)", n.Reactions[1].Rate)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tab, err := Parse(`
+K_sc in [0.01, 10] start 0.5
+K_d  in [1, 2]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tab.Bounds["K_sc"]
+	if b.Lower != 0.01 || b.Upper != 10 || b.Start != 0.5 {
+		t.Errorf("K_sc bound = %+v", b)
+	}
+	d := tab.Bounds["K_d"]
+	if d.Start != 1.5 {
+		t.Errorf("default start = %v, want midpoint 1.5", d.Start)
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	tab, err := Parse("K_A = -3\nK_B = 2 - -1\nK_c in [-5, -1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Values["K_A"] != -3 || tab.Values["K_B"] != 3 {
+		t.Errorf("values = %v", tab.Values)
+	}
+	if b := tab.Bounds["K_c"]; b.Lower != -5 || b.Upper != -1 {
+		t.Errorf("bound = %+v", b)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"not a rate name", `Alpha = 3`, "not a rate-constant"},
+		{"dup", "K_A = 1\nK_A = 2", "defined twice"},
+		{"forward ref", "K_B = K_A", "before definition"},
+		{"bad token", "K_A = =", "expected a constant expression"},
+		{"empty interval", "K_A in [5, 2]", "empty bound"},
+		{"start outside", "K_A in [1, 2] start 9", "outside"},
+		{"dup bounds", "K_A in [1,2]\nK_A in [1,2]", "twice"},
+		{"missing bracket", "K_A in 1, 2]", "expected '['"},
+		{"trailing junk", "K_A = ", "expected a constant expression"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: parsed, want error with %q", c.name, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// The §3.3 scenario end to end: constants renamed by common value let the
+// equation table merge terms across reactions with nominally different
+// constants.
+func TestUnificationEnablesMerging(t *testing.T) {
+	tab, err := Parse("K_f = 7\nK_g = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := network.New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("B", "", 0)
+	n.AddSpecies("C", "", 0)
+	n.AddReaction("r1", "K_f", []string{"A"}, []string{"B"})
+	n.AddReaction("r2", "K_g", []string{"A"}, []string{"C"})
+	tab.Apply(n)
+	if n.Reactions[0].Rate != n.Reactions[1].Rate {
+		t.Error("equal-valued constants not unified")
+	}
+}

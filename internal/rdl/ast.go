@@ -1,0 +1,209 @@
+package rdl
+
+import "fmt"
+
+// Program is a parsed RDL source file.
+type Program struct {
+	Species   []*SpeciesDecl
+	Reactions []*ReactionDecl
+	// Forbids lists SMILES of forbidden species; any reaction instance
+	// producing one is discarded by the network generator.
+	Forbids []string
+}
+
+// SpeciesDecl declares a molecule or a compact variant family of
+// molecules differing in a chain length (typically sulfur chains).
+type SpeciesDecl struct {
+	Name string
+	// Var names the variant variable; empty for a plain species.
+	Var    string
+	Lo, Hi int
+	// Template is the concatenation of SMILES fragments; parts with a
+	// repeat expression expand per variant instance.
+	Template []TemplatePart
+	// Init is the initial concentration (default 0).
+	Init    float64
+	HasInit bool
+	Line    int
+}
+
+// TemplatePart is one fragment of a species SMILES template.
+type TemplatePart struct {
+	Text string
+	// Rep, when non-nil, repeats Text that many times (evaluated in the
+	// variant environment).
+	Rep IntExpr
+}
+
+// ReactionDecl declares a reaction class: reactant patterns, context
+// conditions, the graph edits to apply, and the kinetic rate constant.
+type ReactionDecl struct {
+	Name      string
+	Reactants []ReactantRef
+	Foralls   []Forall
+	Requires  []Cond
+	Actions   []Action
+	Rate      RateSpec
+	// Reverse, when named, declares the reaction reversible: the network
+	// generator adds the products -> reactants reaction under this rate.
+	Reverse RateSpec
+	Line    int
+}
+
+// ReactantRef names a reactant species; Var, when set, binds the
+// species' variant index for use in conditions, sites and rates.
+type ReactantRef struct {
+	Species string
+	Var     string
+}
+
+// Forall introduces an auxiliary integer range variable (e.g. a bond
+// position along a chain); the reaction instantiates once per value.
+type Forall struct {
+	Var    string
+	Lo, Hi IntExpr
+}
+
+// Cond is an integer comparison that must hold for an instance to fire.
+type Cond struct {
+	L, R IntExpr
+	Op   TokKind // TokLT, TokLE, TokGT, TokGE, TokEQ, TokNE
+}
+
+// Eval reports whether the condition holds in env.
+func (c Cond) Eval(env map[string]int) (bool, error) {
+	l, err := c.L.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	r, err := c.R.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case TokLT:
+		return l < r, nil
+	case TokLE:
+		return l <= r, nil
+	case TokGT:
+		return l > r, nil
+	case TokGE:
+		return l >= r, nil
+	case TokEQ:
+		return l == r, nil
+	case TokNE:
+		return l != r, nil
+	}
+	return false, fmt.Errorf("rdl: bad comparison operator %v", c.Op)
+}
+
+// ActionKind enumerates the six primitive reaction rules of the language.
+type ActionKind int
+
+const (
+	ActDisconnect ActionKind = iota // disconnect two atoms
+	ActConnect                      // connect two atoms
+	ActIncrease                     // increase the bond order
+	ActDecrease                     // decrease the bond order
+	ActRemoveH                      // remove a hydrogen atom
+	ActAddH                         // add a hydrogen atom
+)
+
+var actionNames = map[ActionKind]string{
+	ActDisconnect: "disconnect", ActConnect: "connect",
+	ActIncrease: "increase", ActDecrease: "decrease",
+	ActRemoveH: "removeH", ActAddH: "addH",
+}
+
+func (k ActionKind) String() string { return actionNames[k] }
+
+// Action is one primitive graph edit at one or two sites.
+type Action struct {
+	Kind  ActionKind
+	A, B  Site // B is unused for removeH/addH
+	Order int  // bond order for connect (default 1)
+}
+
+// Site addresses an atom of a reactant, either by SMILES class label or by
+// 1-based position within the reactant's unique maximal sulfur chain.
+type Site struct {
+	Reactant int // 1-based reactant ordinal
+	// Class > 0 addresses the atom with that class label.
+	Class int
+	// ChainIdx, when non-nil, addresses the ChainIdx-th sulfur of the
+	// reactant's sulfur chain instead.
+	ChainIdx IntExpr
+}
+
+func (s Site) String() string {
+	if s.ChainIdx != nil {
+		return fmt.Sprintf("%d:S[...]", s.Reactant)
+	}
+	return fmt.Sprintf("%d:%d", s.Reactant, s.Class)
+}
+
+// RateSpec names the kinetic rate constant of a reaction class; Args, when
+// present, are variant/forall variables appended to the name per instance
+// (rate K_sc(n) yields K_sc_3, K_sc_4, ...).
+type RateSpec struct {
+	Name string
+	Args []string
+}
+
+// IntExpr is a small integer expression over variant/forall variables.
+type IntExpr interface {
+	Eval(env map[string]int) (int, error)
+	String() string
+}
+
+// IntLit is an integer literal.
+type IntLit int
+
+// VarRef references a bound integer variable.
+type VarRef string
+
+// BinOp is an arithmetic node (+, -, *).
+type BinOp struct {
+	Op   TokKind
+	L, R IntExpr
+}
+
+// Eval returns the literal value.
+func (i IntLit) Eval(map[string]int) (int, error) { return int(i), nil }
+func (i IntLit) String() string                   { return fmt.Sprintf("%d", int(i)) }
+
+// Eval looks the variable up, failing on unbound names.
+func (v VarRef) Eval(env map[string]int) (int, error) {
+	val, ok := env[string(v)]
+	if !ok {
+		return 0, fmt.Errorf("rdl: unbound variable %q", string(v))
+	}
+	return val, nil
+}
+func (v VarRef) String() string { return string(v) }
+
+// Eval evaluates both sides and applies the operator.
+func (b BinOp) Eval(env map[string]int) (int, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.Op {
+	case TokPlus:
+		return l + r, nil
+	case TokMinus:
+		return l - r, nil
+	case TokStar:
+		return l * r, nil
+	}
+	return 0, fmt.Errorf("rdl: bad arithmetic operator %v", b.Op)
+}
+
+func (b BinOp) String() string {
+	op := map[TokKind]string{TokPlus: "+", TokMinus: "-", TokStar: "*"}[b.Op]
+	return fmt.Sprintf("(%s %s %s)", b.L, op, b.R)
+}

@@ -1,0 +1,147 @@
+package rdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical RDL source. The
+// output re-parses to a structurally identical program (the formatter's
+// round-trip property), making it usable as a source formatter and as
+// the printer for machine-built programs.
+func Format(p *Program) string {
+	var b strings.Builder
+	for i, s := range p.Species {
+		if i > 0 {
+			// grouped block, no blank lines between species
+		}
+		b.WriteString(formatSpecies(s))
+		b.WriteByte('\n')
+	}
+	for _, r := range p.Reactions {
+		b.WriteByte('\n')
+		b.WriteString(formatReaction(r))
+	}
+	if len(p.Forbids) > 0 {
+		b.WriteByte('\n')
+		for _, f := range p.Forbids {
+			fmt.Fprintf(&b, "forbid %q\n", f)
+		}
+	}
+	return b.String()
+}
+
+func formatSpecies(s *SpeciesDecl) string {
+	var b strings.Builder
+	b.WriteString("species ")
+	b.WriteString(s.Name)
+	if s.Var != "" {
+		fmt.Fprintf(&b, "{%s=%d..%d}", s.Var, s.Lo, s.Hi)
+	}
+	b.WriteString(" = ")
+	for i, part := range s.Template {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%q", part.Text)
+		if part.Rep != nil {
+			fmt.Fprintf(&b, "*%s", formatIntExpr(part.Rep, true))
+		}
+	}
+	if s.HasInit {
+		fmt.Fprintf(&b, " init %g", s.Init)
+	}
+	return b.String()
+}
+
+func formatReaction(r *ReactionDecl) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reaction %s {\n", r.Name)
+	refs := make([]string, len(r.Reactants))
+	for i, ref := range r.Reactants {
+		refs[i] = ref.Species
+		if ref.Var != "" {
+			refs[i] += "{" + ref.Var + "}"
+		}
+	}
+	fmt.Fprintf(&b, "    reactants %s\n", strings.Join(refs, ", "))
+	for _, f := range r.Foralls {
+		fmt.Fprintf(&b, "    forall %s = %s .. %s\n",
+			f.Var, formatIntExpr(f.Lo, false), formatIntExpr(f.Hi, false))
+	}
+	for _, c := range r.Requires {
+		fmt.Fprintf(&b, "    require %s %s %s\n",
+			formatIntExpr(c.L, false), cmpText(c.Op), formatIntExpr(c.R, false))
+	}
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case ActRemoveH, ActAddH:
+			fmt.Fprintf(&b, "    %s %s\n", a.Kind, formatSite(a.A))
+		case ActConnect:
+			fmt.Fprintf(&b, "    connect %s %s", formatSite(a.A), formatSite(a.B))
+			if a.Order != 1 {
+				fmt.Fprintf(&b, " order %d", a.Order)
+			}
+			b.WriteByte('\n')
+		default:
+			fmt.Fprintf(&b, "    %s %s %s\n", a.Kind, formatSite(a.A), formatSite(a.B))
+		}
+	}
+	fmt.Fprintf(&b, "    rate %s", formatRate(r.Rate))
+	if r.Reverse.Name != "" {
+		fmt.Fprintf(&b, " reverse %s", formatRate(r.Reverse))
+	}
+	b.WriteString("\n}\n")
+	return b.String()
+}
+
+func formatRate(r RateSpec) string {
+	if len(r.Args) == 0 {
+		return r.Name
+	}
+	return fmt.Sprintf("%s(%s)", r.Name, strings.Join(r.Args, ", "))
+}
+
+func formatSite(s Site) string {
+	if s.ChainIdx != nil {
+		return fmt.Sprintf("%d:S[%s]", s.Reactant, formatIntExpr(s.ChainIdx, false))
+	}
+	return fmt.Sprintf("%d:%d", s.Reactant, s.Class)
+}
+
+func cmpText(k TokKind) string {
+	switch k {
+	case TokLT:
+		return "<"
+	case TokLE:
+		return "<="
+	case TokGT:
+		return ">"
+	case TokGE:
+		return ">="
+	case TokEQ:
+		return "=="
+	case TokNE:
+		return "!="
+	}
+	return "?"
+}
+
+// formatIntExpr renders an integer expression; nested binary operations
+// parenthesize so the round trip preserves structure.
+func formatIntExpr(e IntExpr, nested bool) string {
+	switch x := e.(type) {
+	case IntLit:
+		return fmt.Sprintf("%d", int(x))
+	case VarRef:
+		return string(x)
+	case BinOp:
+		op := map[TokKind]string{TokPlus: "+", TokMinus: "-", TokStar: "*"}[x.Op]
+		s := fmt.Sprintf("%s %s %s", formatIntExpr(x.L, true), op, formatIntExpr(x.R, true))
+		if nested {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return "?"
+}

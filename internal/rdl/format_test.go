@@ -1,0 +1,90 @@
+package rdl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	sources := []string{
+		exampleRDL,
+		`
+species A = "C[S:1][S:2]C" init 1.0
+reaction Split {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_f reverse K_r
+}`,
+		`
+species Cx{n=1..4} = "C" + "S"*(n-1) + "[S]"
+species M = "[CH3:2]" init 0.5
+reaction Cap {
+    reactants Cx{n}, M
+    require n >= 2
+    forall i = 1 .. n - 1
+    connect 1:S[i] 2:2 order 1
+    addH 1:S[i+1 - 1]
+    rate K_c(n, i)
+}
+forbid "S"`,
+	}
+	for _, src := range sources {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("source does not parse: %v", err)
+		}
+		formatted := Format(p1)
+		p2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n%s", err, formatted)
+		}
+		// Structural equality up to source positions.
+		clearLines(p1)
+		clearLines(p2)
+		if !reflect.DeepEqual(p1, p2) {
+			t.Errorf("round trip changed the program:\n--- formatted ---\n%s\n--- first  ---\n%#v\n--- second ---\n%#v",
+				formatted, p1, p2)
+		}
+		// Formatting is idempotent.
+		if again := Format(p2); again != formatted {
+			t.Errorf("formatter not idempotent:\n%s\n---\n%s", formatted, again)
+		}
+	}
+}
+
+func clearLines(p *Program) {
+	for _, s := range p.Species {
+		s.Line = 0
+	}
+	for _, r := range p.Reactions {
+		r.Line = 0
+	}
+}
+
+func TestFormatDetails(t *testing.T) {
+	p, err := Parse(`
+species A = "[CH2:1][CH2:2]"
+reaction R {
+    reactants A
+    connect 1:1 1:2 order 2
+    rate K_r
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p)
+	for _, want := range []string{
+		`species A = "[CH2:1][CH2:2]"`,
+		"order 2",
+		"rate K_r",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Default order 1 is omitted.
+	if strings.Contains(out, "order 1") {
+		t.Errorf("redundant 'order 1' in:\n%s", out)
+	}
+}

@@ -1,0 +1,83 @@
+package rdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SpeciesInstance is one concrete molecule expanded from a species
+// declaration: plain species yield exactly one instance; variant families
+// yield one per variant value.
+type SpeciesInstance struct {
+	// Name is the concrete species name: the declared name for plain
+	// species, or name_v for variant value v (Crosslink_3).
+	Name string
+	// Decl points back at the declaration.
+	Decl *SpeciesDecl
+	// VarValue is the variant value (0 for plain species).
+	VarValue int
+	// SMILES is the expanded template.
+	SMILES string
+	// Init is the initial concentration.
+	Init float64
+}
+
+// InstanceName returns the concrete name of variant value v of d.
+func (d *SpeciesDecl) InstanceName(v int) string {
+	if d.Var == "" {
+		return d.Name
+	}
+	return fmt.Sprintf("%s_%d", d.Name, v)
+}
+
+// SMILESFor expands the declaration's template for variant value v.
+func (d *SpeciesDecl) SMILESFor(v int) (string, error) {
+	env := map[string]int{}
+	if d.Var != "" {
+		env[d.Var] = v
+	}
+	var sb strings.Builder
+	for _, part := range d.Template {
+		if part.Rep == nil {
+			sb.WriteString(part.Text)
+			continue
+		}
+		n, err := part.Rep.Eval(env)
+		if err != nil {
+			return "", fmt.Errorf("species %s: %w", d.Name, err)
+		}
+		if n < 0 {
+			return "", fmt.Errorf("species %s: negative repetition %d", d.Name, n)
+		}
+		for i := 0; i < n; i++ {
+			sb.WriteString(part.Text)
+		}
+	}
+	return sb.String(), nil
+}
+
+// Instances expands the declaration into its concrete species.
+func (d *SpeciesDecl) Instances() ([]SpeciesInstance, error) {
+	if d.Var == "" {
+		s, err := d.SMILESFor(0)
+		if err != nil {
+			return nil, err
+		}
+		return []SpeciesInstance{{Name: d.Name, Decl: d, SMILES: s, Init: d.Init}}, nil
+	}
+	var out []SpeciesInstance
+	for v := d.Lo; v <= d.Hi; v++ {
+		s, err := d.SMILESFor(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SpeciesInstance{
+			Name:     d.InstanceName(v),
+			Decl:     d,
+			VarValue: v,
+			SMILES:   s,
+			Init:     d.Init,
+		})
+	}
+	return out, nil
+}

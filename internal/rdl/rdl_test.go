@@ -1,0 +1,319 @@
+package rdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll(`species Cx{n=1..8} = "C" + "S"*n init 0.5 # comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{
+		TokIdent, TokIdent, TokLBrace, TokIdent, TokAssign, TokInt, TokDotDot,
+		TokInt, TokRBrace, TokAssign, TokString, TokPlus, TokString, TokStar,
+		TokIdent, TokIdent, TokFloat,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexRangeVsFloat(t *testing.T) {
+	toks, err := LexAll("1..8 1.5 2e3 2em")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokInt, TokDotDot, TokInt, TokFloat, TokFloat, TokInt, TokIdent}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+	if toks[4].Num != 2000 {
+		t.Errorf("2e3 = %v", toks[4].Num)
+	}
+}
+
+func TestLexComparisons(t *testing.T) {
+	toks, err := LexAll("< <= > >= == != =")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokLT, TokLE, TokGT, TokGE, TokEQ, TokNE, TokAssign}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"bad\q"`, "@", "3.x", "!", "a . b"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+const exampleRDL = `
+# Sulfur crosslink chemistry, compact form.
+species Crosslink{n=2..8} = "C" + "S"*n + "C" init 0
+species Accel            = "CC[S:1][S:2]C"   init 1.0
+species RadicalR         = "[CH3]"           init 0.2
+
+reaction Scission {
+    reactants Crosslink{n}
+    require   n >= 6
+    forall    i = 3 .. n-3
+    disconnect 1:S[i] 1:S[i+1]
+    rate K_sc(n)
+}
+
+reaction Cap {
+    reactants Accel, RadicalR
+    disconnect 1:1 1:2
+    connect    1:2 2:1
+    rate K_cap
+}
+
+forbid "S"
+`
+
+func TestParseExample(t *testing.T) {
+	prog, err := Parse(exampleRDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Species) != 3 || len(prog.Reactions) != 2 || len(prog.Forbids) != 1 {
+		t.Fatalf("program shape: %d species, %d reactions, %d forbids",
+			len(prog.Species), len(prog.Reactions), len(prog.Forbids))
+	}
+	cx := prog.Species[0]
+	if cx.Name != "Crosslink" || cx.Var != "n" || cx.Lo != 2 || cx.Hi != 8 {
+		t.Errorf("Crosslink decl = %+v", cx)
+	}
+	sc := prog.Reactions[0]
+	if len(sc.Foralls) != 1 || len(sc.Requires) != 1 || len(sc.Actions) != 1 {
+		t.Errorf("Scission shape: %+v", sc)
+	}
+	if sc.Rate.Name != "K_sc" || len(sc.Rate.Args) != 1 || sc.Rate.Args[0] != "n" {
+		t.Errorf("Scission rate = %+v", sc.Rate)
+	}
+	if sc.Actions[0].Kind != ActDisconnect || sc.Actions[0].A.ChainIdx == nil {
+		t.Errorf("Scission action = %+v", sc.Actions[0])
+	}
+	cap := prog.Reactions[1]
+	if cap.Actions[1].Kind != ActConnect || cap.Actions[1].B.Reactant != 2 {
+		t.Errorf("Cap connect = %+v", cap.Actions[1])
+	}
+}
+
+func TestParseConnectOrder(t *testing.T) {
+	src := `
+species A = "[CH2][CH2]"
+reaction R {
+    reactants A
+    connect 1:1 1:2 order 2
+    rate K_r
+}`
+	// Needs class labels for the check to pass; the connect sites are
+	// validated structurally, not chemically, at parse time.
+	src = strings.Replace(src, `"[CH2][CH2]"`, `"[CH2:1][CH2:2]"`, 1)
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Reactions[0].Actions[0].Order != 2 {
+		t.Errorf("order = %d, want 2", prog.Reactions[0].Actions[0].Order)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"dup species", `species A = "C"` + "\n" + `species A = "C"`, "duplicate species"},
+		{"rate-named species", `species K_1 = "C"`, "naming convention"},
+		{"unknown species", `species A = "C"` + "\n" + `reaction R { reactants B rate K_r removeH 1:1 }`, "unknown species"},
+		{"no rate", `species A = "C"` + "\n" + `reaction R { reactants A removeH 1:1 }`, "no rate"},
+		{"bad rate name", `species A = "C"` + "\n" + `reaction R { reactants A rate Rate removeH 1:1 }`, "rate constant"},
+		{"no reactants", `species A = "C"` + "\n" + `reaction R { rate K_r removeH 1:1 }`, "no reactants"},
+		{"three reactants", `species A = "C"` + "\n" + `reaction R { reactants A, A, A rate K_r removeH 1:1 }`, "at most 2"},
+		{"no actions", `species A = "C"` + "\n" + `reaction R { reactants A rate K_r }`, "no actions"},
+		{"bad site reactant", `species A = "C"` + "\n" + `reaction R { reactants A rate K_r removeH 2:1 }`, "references reactant"},
+		{"variant on plain", `species A = "C"` + "\n" + `reaction R { reactants A{n} rate K_r removeH 1:1 }`, "no variants"},
+		{"unbound rate arg", `species A = "C"` + "\n" + `reaction R { reactants A rate K_r(n) removeH 1:1 }`, "unbound"},
+		{"dup reaction", `species A = "C"` + "\n" + `reaction R { reactants A rate K_r removeH 1:1 }` + "\n" + `reaction R { reactants A rate K_r removeH 1:1 }`, "duplicate reaction"},
+		{"empty range", `species A{n=5..2} = "C"`, "empty variant range"},
+		{"bad clause", `species A = "C"` + "\n" + `reaction R { frobnicate rate K_r }`, "unknown reaction clause"},
+		{"zero class", `species A = "C"` + "\n" + `reaction R { reactants A rate K_r removeH 1:0 }`, "positive"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: parse succeeded, want error containing %q", c.name, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestIntExprEval(t *testing.T) {
+	prog, err := Parse(`
+species Cx{n=1..4} = "C" + "S"*n
+reaction R {
+    reactants Cx{n}
+    forall i = 1 .. 2*n - 1
+    require i != n
+    disconnect 1:S[i] 1:S[i+1]
+    rate K_r
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Reactions[0].Foralls[0]
+	env := map[string]int{"n": 3}
+	hi, err := f.Hi.Eval(env)
+	if err != nil || hi != 5 {
+		t.Errorf("2*n-1 with n=3 = %d (%v), want 5", hi, err)
+	}
+	ok, err := prog.Reactions[0].Requires[0].Eval(map[string]int{"i": 3, "n": 3})
+	if err != nil || ok {
+		t.Errorf("i != n with i=n=3: %v, %v", ok, err)
+	}
+	if _, err := f.Hi.Eval(map[string]int{}); err == nil {
+		t.Error("unbound variable should error")
+	}
+}
+
+func TestCondOperators(t *testing.T) {
+	env := map[string]int{"a": 2, "b": 3}
+	cases := []struct {
+		op   TokKind
+		want bool
+	}{
+		{TokLT, true}, {TokLE, true}, {TokGT, false},
+		{TokGE, false}, {TokEQ, false}, {TokNE, true},
+	}
+	for _, c := range cases {
+		got, err := (Cond{L: VarRef("a"), R: VarRef("b"), Op: c.op}).Eval(env)
+		if err != nil || got != c.want {
+			t.Errorf("2 %v 3 = %v (%v), want %v", c.op, got, err, c.want)
+		}
+	}
+}
+
+func TestSpeciesInstances(t *testing.T) {
+	prog, err := Parse(`species Cx{n=1..3} = "C" + "S"*n + "C" init 0.25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.Species[0].Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst) != 3 {
+		t.Fatalf("instances = %d, want 3", len(inst))
+	}
+	want := []struct {
+		name, smiles string
+	}{
+		{"Cx_1", "CSC"}, {"Cx_2", "CSSC"}, {"Cx_3", "CSSSC"},
+	}
+	for i, w := range want {
+		if inst[i].Name != w.name || inst[i].SMILES != w.smiles {
+			t.Errorf("instance %d = %s %q, want %s %q",
+				i, inst[i].Name, inst[i].SMILES, w.name, w.smiles)
+		}
+		if inst[i].Init != 0.25 {
+			t.Errorf("instance %d init = %v", i, inst[i].Init)
+		}
+	}
+}
+
+func TestPlainSpeciesInstance(t *testing.T) {
+	prog, err := Parse(`species A = "CC" + "O"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.Species[0].Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst) != 1 || inst[0].SMILES != "CCO" || inst[0].Name != "A" {
+		t.Errorf("instances = %+v", inst)
+	}
+}
+
+func TestIntLitRepetition(t *testing.T) {
+	prog, err := Parse(`species A = "C" + "S"*4 + "C"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := prog.Species[0].SMILESFor(0)
+	if err != nil || s != "CSSSSC" {
+		t.Errorf("SMILESFor = %q (%v), want CSSSSC", s, err)
+	}
+}
+
+func TestParseReversible(t *testing.T) {
+	prog, err := Parse(`
+species A = "C[S:1][S:2]C"
+reaction Split {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_f reverse K_r
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Reactions[0]
+	if r.Rate.Name != "K_f" || r.Reverse.Name != "K_r" {
+		t.Errorf("rates = %q / %q", r.Rate.Name, r.Reverse.Name)
+	}
+	// Reverse rate obeys the naming convention.
+	if _, err := Parse(`
+species A = "C[S:1][S:2]C"
+reaction Split {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_f reverse Back
+}`); err == nil || !strings.Contains(err.Error(), "reverse rate constant") {
+		t.Errorf("bad reverse name accepted: %v", err)
+	}
+	// Reverse args must be bound.
+	if _, err := Parse(`
+species A = "C[S:1][S:2]C"
+reaction Split {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_f reverse K_r(n)
+}`); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("unbound reverse arg accepted: %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package rdl implements the Reaction Description Language front end of
+// the chemical compiler. The dialect follows the shape of Prickett and
+// Mavrovouniotis's RDL as the paper describes it: compact declarations of
+// molecules and their chain-length variants, reaction classes built from
+// six primitive graph edits (disconnect, connect, increase/decrease bond
+// order, remove/add hydrogen) applied at named reaction sites, context
+// conditions restricting where a rule fires, and forbidden forms.
+//
+// A complete example:
+//
+//	# species with a chain-length variant family (sulfur chains)
+//	species Crosslink{n=1..8} = "C" + "S"*n + "C" init 0.0
+//	species Accel = "CC[S:1][SH:2]" init 1.0
+//
+//	reaction Scission {
+//	    reactants Crosslink{n}
+//	    require   n >= 6
+//	    forall    i = 3 .. n-3
+//	    disconnect 1:S[i] 1:S[i+1]
+//	    rate K_sc
+//	}
+//
+//	forbid "S"
+//
+// Sites are written reactant:class (the atom carrying SMILES class label
+// :class in that reactant) or reactant:S[expr] (the expr-th atom of the
+// reactant's unique maximal sulfur chain, 1-based), which is how the
+// paper's "only break S–S bonds at least three atoms from the chain end"
+// style of context sensitivity is expressed.
+package rdl
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma    // ,
+	TokColon    // :
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokDotDot   // ..
+	TokLE       // <=
+	TokGE       // >=
+	TokLT       // <
+	TokGT       // >
+	TokEQ       // ==
+	TokNE       // !=
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokInt: "integer",
+	TokFloat: "number", TokString: "string", TokLBrace: "'{'",
+	TokRBrace: "'}'", TokLParen: "'('", TokRParen: "')'",
+	TokLBracket: "'['", TokRBracket: "']'", TokComma: "','",
+	TokColon: "':'", TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'",
+	TokStar: "'*'", TokDotDot: "'..'", TokLE: "'<='", TokGE: "'>='",
+	TokLT: "'<'", TokGT: "'>'", TokEQ: "'=='", TokNE: "'!='",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string  // raw text for idents/strings
+	Int  int     // value for TokInt
+	Num  float64 // value for TokFloat
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	case TokInt:
+		return fmt.Sprintf("integer %d", t.Int)
+	case TokFloat:
+		return fmt.Sprintf("number %g", t.Num)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a positioned front-end diagnostic.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("rdl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

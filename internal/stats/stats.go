@@ -1,0 +1,208 @@
+// Package stats implements the statistical-analysis step of the paper's
+// Fig. 1 workflow: after the parameter estimator fits a model, the
+// chemist judges it by goodness-of-fit measures and by the uncertainty
+// of the fitted kinetic constants before deciding whether to revise the
+// reaction model.
+//
+// The measures are the standard non-linear regression set: residual
+// RMSE, the coefficient of determination R², and asymptotic parameter
+// confidence intervals from the linearized covariance
+// s²·(JᵀJ)⁻¹ at the optimum.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rms/internal/linalg"
+)
+
+// Fit summarizes the agreement between simulated and observed values.
+type Fit struct {
+	// N is the number of observations, P the number of free parameters.
+	N, P int
+	// RSS is the residual sum of squares, RMSE its per-observation root.
+	RSS, RMSE float64
+	// R2 is the coefficient of determination against the observations'
+	// mean.
+	R2 float64
+	// MaxAbs is the largest absolute residual.
+	MaxAbs float64
+}
+
+// Goodness computes fit statistics from a residual vector (simulated
+// minus observed) and the observations themselves. p counts the free
+// parameters (for degree-of-freedom corrections).
+func Goodness(residuals, observed []float64, p int) (Fit, error) {
+	n := len(residuals)
+	if n == 0 || n != len(observed) {
+		return Fit{}, fmt.Errorf("stats: %d residuals vs %d observations", n, len(observed))
+	}
+	if p < 0 || p >= n {
+		return Fit{}, fmt.Errorf("stats: %d parameters for %d observations", p, n)
+	}
+	f := Fit{N: n, P: p}
+	mean := 0.0
+	for _, o := range observed {
+		mean += o
+	}
+	mean /= float64(n)
+	tss := 0.0
+	for i, r := range residuals {
+		f.RSS += r * r
+		if a := math.Abs(r); a > f.MaxAbs {
+			f.MaxAbs = a
+		}
+		d := observed[i] - mean
+		tss += d * d
+	}
+	f.RMSE = math.Sqrt(f.RSS / float64(n))
+	if tss > 0 {
+		f.R2 = 1 - f.RSS/tss
+	} else if f.RSS == 0 {
+		f.R2 = 1
+	}
+	return f, nil
+}
+
+// String renders the fit summary in one line.
+func (f Fit) String() string {
+	return fmt.Sprintf("n=%d p=%d rmse=%.4g r2=%.5f max|r|=%.4g", f.N, f.P, f.RMSE, f.R2, f.MaxAbs)
+}
+
+// Interval is one parameter's asymptotic confidence interval.
+type Interval struct {
+	// Value is the fitted parameter.
+	Value float64
+	// StdErr is the asymptotic standard error.
+	StdErr float64
+	// Lower and Upper bound the ~95% interval (value ± t·stderr).
+	Lower, Upper float64
+	// Pinned marks parameters at a bound (no meaningful interval).
+	Pinned bool
+}
+
+// Confidence computes asymptotic ~95% intervals for the fitted
+// parameters from the residual Jacobian at the optimum: the linearized
+// covariance is s²(JᵀJ)⁻¹ with s² = RSS/(n−p). Parameters flagged
+// active (pinned at a bound) are excluded from the covariance and
+// reported with Pinned set.
+func Confidence(jac *linalg.Matrix, residuals, x []float64, active []bool) ([]Interval, error) {
+	m, n := jac.Rows, jac.Cols
+	if len(residuals) != m || len(x) != n || len(active) != n {
+		return nil, fmt.Errorf("stats: shape mismatch: J %d×%d, r %d, x %d, active %d",
+			m, n, len(residuals), len(x), len(active))
+	}
+	var free []int
+	for j := 0; j < n; j++ {
+		if !active[j] {
+			free = append(free, j)
+		}
+	}
+	out := make([]Interval, n)
+	for j := range out {
+		out[j] = Interval{Value: x[j], Pinned: active[j], Lower: x[j], Upper: x[j]}
+	}
+	nf := len(free)
+	if nf == 0 {
+		return out, nil
+	}
+	dof := m - nf
+	if dof <= 0 {
+		return nil, fmt.Errorf("stats: %d observations for %d free parameters", m, nf)
+	}
+	rss := 0.0
+	for _, r := range residuals {
+		rss += r * r
+	}
+	s2 := rss / float64(dof)
+
+	// (JᵀJ)⁻¹ over the free columns via LU column solves.
+	a := linalg.NewMatrix(nf, nf)
+	for fi, j := range free {
+		for fk := fi; fk < nf; fk++ {
+			k := free[fk]
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += jac.At(i, j) * jac.At(i, k)
+			}
+			a.Set(fi, fk, s)
+			a.Set(fk, fi, s)
+		}
+	}
+	lu, err := a.LU()
+	if err != nil {
+		return nil, fmt.Errorf("stats: singular JᵀJ (non-identifiable parameters): %w", err)
+	}
+	tcrit := tValue95(dof)
+	e := make([]float64, nf)
+	for fi, j := range free {
+		for i := range e {
+			e[i] = 0
+		}
+		e[fi] = 1
+		col, err := lu.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		v := col[fi] * s2
+		if v < 0 {
+			v = 0
+		}
+		se := math.Sqrt(v)
+		out[j].StdErr = se
+		out[j].Lower = x[j] - tcrit*se
+		out[j].Upper = x[j] + tcrit*se
+	}
+	return out, nil
+}
+
+// tValue95 approximates the two-sided 95% Student-t critical value for
+// the given degrees of freedom (tabulated for small dof, 1.96 in the
+// limit).
+func tValue95(dof int) float64 {
+	table := []struct {
+		dof int
+		t   float64
+	}{
+		{1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+		{6, 2.447}, {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+		{12, 2.179}, {15, 2.131}, {20, 2.086}, {30, 2.042}, {60, 2.000},
+		{120, 1.980},
+	}
+	if dof <= 0 {
+		return math.Inf(1)
+	}
+	i := sort.Search(len(table), func(i int) bool { return table[i].dof >= dof })
+	if i >= len(table) {
+		return 1.96
+	}
+	if table[i].dof == dof || i == 0 {
+		return table[i].t
+	}
+	// Interpolate in 1/dof, the natural scale of the t quantile's tail.
+	lo, hi := table[i-1], table[i]
+	f := (1/float64(dof) - 1/float64(lo.dof)) / (1/float64(hi.dof) - 1/float64(lo.dof))
+	return lo.t + f*(hi.t-lo.t)
+}
+
+// FormatIntervals renders named parameter intervals as a table.
+func FormatIntervals(names []string, ivs []Interval) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-12s %-12s %-24s\n", "parameter", "value", "std err", "~95% interval")
+	for i, iv := range ivs {
+		name := fmt.Sprintf("x[%d]", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		if iv.Pinned {
+			fmt.Fprintf(&b, "%-14s %-12.5g %-12s (pinned at bound)\n", name, iv.Value, "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %-12.5g %-12.3g [%.5g, %.5g]\n",
+			name, iv.Value, iv.StdErr, iv.Lower, iv.Upper)
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rms/internal/linalg"
+)
+
+func TestGoodnessPerfectFit(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	res := []float64{0, 0, 0, 0}
+	f, err := Goodness(res, obs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RMSE != 0 || f.R2 != 1 || f.MaxAbs != 0 {
+		t.Errorf("perfect fit: %+v", f)
+	}
+}
+
+func TestGoodnessKnown(t *testing.T) {
+	obs := []float64{0, 2, 4, 6}
+	res := []float64{1, -1, 1, -1}
+	f, err := Goodness(res, obs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RSS != 4 {
+		t.Errorf("RSS = %v, want 4", f.RSS)
+	}
+	if f.RMSE != 1 {
+		t.Errorf("RMSE = %v, want 1", f.RMSE)
+	}
+	// TSS = (3² + 1² + 1² + 3²) = 20 → R² = 1 - 4/20 = 0.8.
+	if math.Abs(f.R2-0.8) > 1e-12 {
+		t.Errorf("R2 = %v, want 0.8", f.R2)
+	}
+	if f.MaxAbs != 1 {
+		t.Errorf("MaxAbs = %v", f.MaxAbs)
+	}
+}
+
+func TestGoodnessErrors(t *testing.T) {
+	if _, err := Goodness(nil, nil, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Goodness([]float64{1}, []float64{1, 2}, 0); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Goodness([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Error("p >= n accepted")
+	}
+}
+
+// TestConfidenceLinearModel checks the intervals against the closed-form
+// linear-regression answer: for y = a + b·t with gaussian residuals, the
+// covariance is s²(XᵀX)⁻¹.
+func TestConfidenceLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 60
+	aTrue, bTrue, sigma := 2.0, -0.7, 0.05
+	jac := linalg.NewMatrix(n, 2)
+	resid := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tt := float64(i) / 10
+		jac.Set(i, 0, 1)
+		jac.Set(i, 1, tt)
+		resid[i] = sigma * rng.NormFloat64()
+	}
+	ivs, err := Confidence(jac, resid, []float64{aTrue, bTrue}, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, iv := range ivs {
+		if iv.Pinned {
+			t.Errorf("parameter %d pinned", j)
+		}
+		if iv.StdErr <= 0 {
+			t.Errorf("parameter %d stderr = %v", j, iv.StdErr)
+		}
+		if iv.Lower >= iv.Upper {
+			t.Errorf("parameter %d interval [%v, %v]", j, iv.Lower, iv.Upper)
+		}
+	}
+	// The true values lie inside their own intervals (they generated the
+	// noise).
+	if aTrue < ivs[0].Lower || aTrue > ivs[0].Upper {
+		t.Errorf("a interval [%v, %v] misses %v", ivs[0].Lower, ivs[0].Upper, aTrue)
+	}
+	if bTrue < ivs[1].Lower || bTrue > ivs[1].Upper {
+		t.Errorf("b interval [%v, %v] misses %v", ivs[1].Lower, ivs[1].Upper, bTrue)
+	}
+	// The slope against t/10 spacing: stderr(a) > stderr(b) scaled — just
+	// sanity-check magnitudes are O(sigma/sqrt(n)).
+	if ivs[0].StdErr > 10*sigma || ivs[1].StdErr > 10*sigma {
+		t.Errorf("stderrs implausibly large: %v, %v", ivs[0].StdErr, ivs[1].StdErr)
+	}
+}
+
+func TestConfidencePinned(t *testing.T) {
+	jac := linalg.NewMatrix(5, 2)
+	for i := 0; i < 5; i++ {
+		jac.Set(i, 0, 1)
+		jac.Set(i, 1, float64(i))
+	}
+	resid := []float64{0.1, -0.1, 0.1, -0.1, 0.1}
+	ivs, err := Confidence(jac, resid, []float64{1, 2}, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ivs[1].Pinned || ivs[1].StdErr != 0 {
+		t.Errorf("pinned parameter = %+v", ivs[1])
+	}
+	if ivs[0].Pinned || ivs[0].StdErr == 0 {
+		t.Errorf("free parameter = %+v", ivs[0])
+	}
+}
+
+func TestConfidenceSingular(t *testing.T) {
+	// Two identical columns: non-identifiable.
+	jac := linalg.NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		jac.Set(i, 0, 1)
+		jac.Set(i, 1, 1)
+	}
+	_, err := Confidence(jac, make([]float64, 4), []float64{0, 0}, []bool{false, false})
+	if err == nil {
+		t.Error("singular JᵀJ accepted")
+	}
+}
+
+func TestTValue95(t *testing.T) {
+	if v := tValue95(1); v != 12.706 {
+		t.Errorf("t(1) = %v", v)
+	}
+	if v := tValue95(1000); math.Abs(v-1.96) > 0.03 {
+		t.Errorf("t(1000) = %v, want ≈1.96", v)
+	}
+	// Monotone decreasing.
+	prev := math.Inf(1)
+	for _, dof := range []int{1, 2, 3, 5, 8, 11, 14, 25, 50, 100, 500} {
+		v := tValue95(dof)
+		if v > prev {
+			t.Errorf("t(%d) = %v rose above %v", dof, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFormatIntervals(t *testing.T) {
+	out := FormatIntervals([]string{"K_sc"}, []Interval{
+		{Value: 0.3, StdErr: 0.01, Lower: 0.28, Upper: 0.32},
+		{Value: 1.2, Pinned: true},
+	})
+	for _, want := range []string{"K_sc", "x[1]", "pinned at bound", "std err"} {
+		if !contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
