@@ -1,0 +1,19 @@
+# Convenience targets; `make check` is the pre-commit gate.
+
+.PHONY: build test check race bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check = vet + race tests of the concurrency-heavy packages.
+check:
+	./scripts/check.sh
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench . -benchtime 1s ./internal/bench/ .

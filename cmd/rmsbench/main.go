@@ -5,6 +5,8 @@
 //	rmsbench -table 1            # Table 1, scaled sizes with timing
 //	rmsbench -table 1 -full      # Table 1, paper-scale op counts (slow)
 //	rmsbench -table 2            # Table 2, parallel speedup sweep
+//	rmsbench -table 2 -workers 8 # Table 2 with 8-wide per-rank pools
+//	rmsbench -parallel           # serial vs levelized-parallel RHS eval
 //	rmsbench -ablate             # optimizer-pass ablation study
 //	rmsbench -sweep              # workload-redundancy sensitivity sweep
 package main
@@ -20,20 +22,23 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "which table to regenerate (1 or 2)")
-		full   = flag.Bool("full", false, "table 1: paper-scale sizes (static counts only)")
-		ablate = flag.Bool("ablate", false, "run the optimizer ablation study")
-		sweep  = flag.Bool("sweep", false, "run the workload-redundancy sensitivity sweep")
-		evalMs = flag.Int("evalms", 300, "milliseconds of timing per configuration")
+		table    = flag.Int("table", 0, "which table to regenerate (1 or 2)")
+		full     = flag.Bool("full", false, "table 1: paper-scale sizes (static counts only)")
+		ablate   = flag.Bool("ablate", false, "run the optimizer ablation study")
+		sweep    = flag.Bool("sweep", false, "run the workload-redundancy sensitivity sweep")
+		parallel = flag.Bool("parallel", false, "compare serial vs levelized-parallel tape evaluation")
+		workers  = flag.Int("workers", 0, "max worker-pool width (-parallel sweeps 2..workers, default 8; -table 2 pools each rank, default off)")
+		variants = flag.Int("variants", 0, "-parallel: system size (0 = largest scaled case)")
+		evalMs   = flag.Int("evalms", 300, "milliseconds of timing per configuration")
 	)
 	flag.Parse()
-	if err := run(*table, *full, *ablate, *sweep, *evalMs); err != nil {
+	if err := run(*table, *full, *ablate, *sweep, *parallel, *workers, *variants, *evalMs); err != nil {
 		fmt.Fprintln(os.Stderr, "rmsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, full, ablate, sweep bool, evalMs int) error {
+func run(table int, full, ablate, sweep, parallel bool, workers, variants, evalMs int) error {
 	did := false
 	if table == 1 {
 		did = true
@@ -54,12 +59,32 @@ func run(table int, full, ablate, sweep bool, evalMs int) error {
 	}
 	if table == 2 {
 		did = true
-		rows, err := bench.Table2(bench.Table2Config{})
+		cfg := bench.Table2Config{}
+		if workers > 1 {
+			cfg.Workers = workers
+		}
+		rows, err := bench.Table2(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println("Table 2 — parallel objective over 16 data files (modeled parallel seconds)")
 		fmt.Print(bench.FormatTable2(rows))
+	}
+	if parallel {
+		did = true
+		if workers == 0 {
+			workers = 8
+		}
+		rows, err := bench.ParallelEval(bench.ParallelConfig{
+			Variants:    variants,
+			Workers:     workerSweep(workers),
+			MinEvalTime: time.Duration(evalMs) * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Levelized parallel tape evaluation vs the serial interpreter")
+		fmt.Print(bench.FormatParallel(rows))
 	}
 	if ablate {
 		did = true
@@ -80,6 +105,18 @@ func run(table int, full, ablate, sweep bool, evalMs int) error {
 		flag.Usage()
 	}
 	return nil
+}
+
+// workerSweep lists pool widths doubling from 2 up to max.
+func workerSweep(max int) []int {
+	if max < 2 {
+		max = 2
+	}
+	var ws []int
+	for w := 2; w < max; w *= 2 {
+		ws = append(ws, w)
+	}
+	return append(ws, max)
 }
 
 // runAblation reports the op counts of every optimizer pass combination

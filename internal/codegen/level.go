@@ -1,0 +1,258 @@
+package codegen
+
+// Levelized tape scheduling: a one-time analysis pass that stratifies a
+// straight-line tape into dependency levels so the parallel execution
+// engine (see parallel.go) can run each level's instructions across a
+// worker pool with a barrier between levels.
+//
+// The pass relies on the single-assignment form both front ends emit
+// (codegen.Compile and ccomp.lower give every instruction a fresh
+// destination slot): when each instruction writes a distinct slot and
+// reads only slots written at strictly lower levels, any execution order
+// within a level touches disjoint memory, so the parallel result is
+// bit-identical to the serial one — no floating-point reassociation, no
+// scheduling nondeterminism. Tapes that violate single assignment (or
+// read a slot before its writer) fail levelization and simply keep the
+// serial interpreter.
+
+const (
+	// minParallelWidth is the narrowest level worth fanning out; narrower
+	// levels merge into serial segments run by one worker, so a deep
+	// dependence chain (a hub species' long sum reduction) costs one
+	// barrier for the whole chain instead of one per link.
+	minParallelWidth = 128
+	// minChunkInstrs bounds how finely a level is chopped: chunks stay at
+	// least this many contiguous instructions so per-chunk overhead and
+	// false sharing stay negligible next to the arithmetic.
+	minChunkInstrs = 32
+)
+
+// segment is a contiguous run of the level-ordered tape: either one wide
+// level executed in parallel chunks, or a run of consecutive narrow
+// levels executed serially by worker 0.
+type segment struct {
+	start, end int // instruction range in Schedule.instrs
+	levels     int // number of dependency levels the segment spans
+	parallel   bool
+}
+
+// Schedule is the levelized execution plan for one tape. It is immutable
+// after construction and safe to share across evaluators.
+type Schedule struct {
+	instrs []Instr // the tape reordered by level (stable within a level)
+	segs   []segment
+
+	numLevels  int
+	maxWidth   int
+	parallelN  int // instructions inside parallel segments
+	serialN    int // instructions inside serial segments
+}
+
+// operandCount returns how many source slots an opcode reads.
+func operandCount(op OpCode) int {
+	switch op {
+	case OpNeg, OpMov:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// levelize builds the execution plan for a tape over numSlots slots, or
+// returns nil if the tape is not in the single-assignment form the
+// parallel engine requires.
+func levelize(code []Instr, numSlots int) *Schedule {
+	n := len(code)
+	if n == 0 {
+		return nil
+	}
+	writer := make([]int32, numSlots)
+	firstRead := make([]int32, numSlots)
+	for i := range writer {
+		writer[i] = -1
+		firstRead[i] = -1
+	}
+	// Pass 1: record writers, rejecting double writes, out-of-range slots
+	// and writes to slots already read (an anti-dependence would make
+	// level order diverge from program order).
+	for i, in := range code {
+		srcs := [2]int32{in.A, in.B}
+		for s := 0; s < operandCount(in.Op); s++ {
+			a := srcs[s]
+			if a < 0 || int(a) >= numSlots {
+				return nil
+			}
+			if firstRead[a] < 0 {
+				firstRead[a] = int32(i)
+			}
+		}
+		d := in.Dst
+		if d < 0 || int(d) >= numSlots {
+			return nil
+		}
+		if writer[d] >= 0 || firstRead[d] >= 0 {
+			return nil
+		}
+		writer[d] = int32(i)
+	}
+	// Pass 2: level of an instruction = 1 + max level of its producers;
+	// slots with no writer in this tape (constants, y, k, prelude results)
+	// sit at level 0. Pass 1 guarantees every producer precedes its
+	// consumers, so one forward sweep suffices.
+	level := make([]int32, n)
+	numLevels := 0
+	for i, in := range code {
+		lv := int32(0)
+		srcs := [2]int32{in.A, in.B}
+		for s := 0; s < operandCount(in.Op); s++ {
+			if w := writer[srcs[s]]; w >= 0 {
+				if pl := level[w] + 1; pl > lv {
+					lv = pl
+				}
+			}
+		}
+		level[i] = lv
+		if int(lv)+1 > numLevels {
+			numLevels = int(lv) + 1
+		}
+	}
+	// Counting sort by level, preserving program order within a level.
+	width := make([]int, numLevels)
+	for _, lv := range level {
+		width[lv]++
+	}
+	offset := make([]int, numLevels+1)
+	for lv := 0; lv < numLevels; lv++ {
+		offset[lv+1] = offset[lv] + width[lv]
+	}
+	sc := &Schedule{instrs: make([]Instr, n), numLevels: numLevels}
+	cursor := append([]int(nil), offset[:numLevels]...)
+	for i, in := range code {
+		lv := level[i]
+		sc.instrs[cursor[lv]] = in
+		cursor[lv]++
+	}
+	// Segment the level sequence: wide levels fan out, consecutive narrow
+	// levels coalesce into serial runs.
+	for lv := 0; lv < numLevels; lv++ {
+		w := width[lv]
+		if w > sc.maxWidth {
+			sc.maxWidth = w
+		}
+		if w >= minParallelWidth {
+			sc.segs = append(sc.segs, segment{start: offset[lv], end: offset[lv+1], levels: 1, parallel: true})
+			sc.parallelN += w
+			continue
+		}
+		if k := len(sc.segs); k > 0 && !sc.segs[k-1].parallel {
+			sc.segs[k-1].end = offset[lv+1]
+			sc.segs[k-1].levels++
+		} else {
+			sc.segs = append(sc.segs, segment{start: offset[lv], end: offset[lv+1], levels: 1})
+		}
+		sc.serialN += w
+	}
+	return sc
+}
+
+// NumLevels returns the dependency depth of the tape.
+func (sc *Schedule) NumLevels() int { return sc.numLevels }
+
+// MaxWidth returns the widest level's instruction count.
+func (sc *Schedule) MaxWidth() int { return sc.maxWidth }
+
+// NumSegments returns the number of barrier-separated segments.
+func (sc *Schedule) NumSegments() int { return len(sc.segs) }
+
+// ParallelInstrs returns the instruction count inside parallel segments.
+func (sc *Schedule) ParallelInstrs() int { return sc.parallelN }
+
+// SerialInstrs returns the instruction count inside serial segments.
+func (sc *Schedule) SerialInstrs() int { return sc.serialN }
+
+// chunksFor returns how many chunks a level of the given width splits
+// into on a pool of the given size.
+func chunksFor(width, workers int) int {
+	parts := (width + minChunkInstrs - 1) / minChunkInstrs
+	if parts > workers {
+		parts = workers
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
+// chunkRange returns the half-open instruction range of chunk id among
+// parts near-equal contiguous chunks of [start, start+width).
+func chunkRange(start, width, parts, id int) (int, int) {
+	base := width / parts
+	rem := width % parts
+	lo := start + id*base + min(id, rem)
+	size := base
+	if id < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// CriticalPathOps returns the modeled per-evaluation critical path on a
+// pool of the given width: per parallel segment the largest chunk, per
+// serial segment the whole segment. This is the deterministic analogue of
+// the estimator's modeled parallel time — the op count a host where every
+// worker owns a core would execute on the slowest worker.
+func (sc *Schedule) CriticalPathOps(workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	ops := 0
+	for _, seg := range sc.segs {
+		w := seg.end - seg.start
+		if !seg.parallel {
+			ops += w
+			continue
+		}
+		parts := chunksFor(w, workers)
+		ops += (w + parts - 1) / parts
+	}
+	return ops
+}
+
+// ModeledSpeedup returns total ops over critical-path ops for the given
+// pool width — the speedup the levelization admits when every worker has
+// a dedicated core, before barrier overhead.
+func (sc *Schedule) ModeledSpeedup(workers int) float64 {
+	cp := sc.CriticalPathOps(workers)
+	if cp == 0 {
+		return 1
+	}
+	return float64(len(sc.instrs)) / float64(cp)
+}
+
+// ChunkImbalance returns the mean ratio of the largest chunk to the
+// average chunk across parallel segments (1.0 = perfectly balanced),
+// weighted by segment size, for the given pool width.
+func (sc *Schedule) ChunkImbalance(workers int) float64 {
+	num, den := 0.0, 0.0
+	for _, seg := range sc.segs {
+		if !seg.parallel {
+			continue
+		}
+		w := seg.end - seg.start
+		parts := chunksFor(w, workers)
+		maxChunk := (w + parts - 1) / parts
+		num += float64(maxChunk*parts) / float64(w) * float64(w)
+		den += float64(w)
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

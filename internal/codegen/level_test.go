@@ -1,0 +1,397 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rms/internal/eqgen"
+	"rms/internal/linalg"
+	"rms/internal/network"
+	"rms/internal/opt"
+	"rms/internal/parallel"
+)
+
+func compileSystem(t testing.TB, sys *eqgen.System, o opt.Options) *Program {
+	t.Helper()
+	z, err := opt.Optimize(sys, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func randomInputs(rng *rand.Rand, prog *Program) (y, k []float64) {
+	y = make([]float64, prog.NumY)
+	for i := range y {
+		y[i] = rng.Float64() * 2
+	}
+	k = make([]float64, prog.NumK)
+	for i := range k {
+		k[i] = 0.1 + rng.Float64()*3
+	}
+	return y, k
+}
+
+// TestScheduleRespectsDependencies checks the levelizer invariant
+// directly: every operand of a level-L instruction is written at a level
+// < L (or outside the tape), and the level-ordered tape is a permutation
+// of the original.
+func TestScheduleRespectsDependencies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomSystem(rng)
+		for _, o := range []opt.Options{{}, opt.Full()} {
+			prog := compileSystem(t, sys, o)
+			sc := prog.Schedule()
+			if sc == nil {
+				t.Logf("seed %d: compiled tape failed levelization", seed)
+				return false
+			}
+			if len(sc.instrs) != len(prog.Code) {
+				t.Logf("schedule has %d instrs, tape %d", len(sc.instrs), len(prog.Code))
+				return false
+			}
+			writtenAt := make(map[int32]int)
+			levelOf := make([]int, len(sc.instrs))
+			idx := 0
+			for li, seg := range sc.segs {
+				for ; idx < seg.end; idx++ {
+					levelOf[idx] = li
+					writtenAt[sc.instrs[idx].Dst] = li
+				}
+			}
+			// Segments are only a coarsening of levels, so checking at
+			// segment granularity is sound: a producer in the same segment
+			// must be a serial segment (in-order execution) or a violation.
+			idx = 0
+			counts := map[Instr]int{}
+			for _, in := range prog.Code {
+				counts[in]++
+			}
+			for si, seg := range sc.segs {
+				for i := seg.start; i < seg.end; i++ {
+					in := sc.instrs[i]
+					counts[in]--
+					srcs := [2]int32{in.A, in.B}
+					for s := 0; s < operandCount(in.Op); s++ {
+						w, ok := writtenAt[srcs[s]]
+						if !ok {
+							continue
+						}
+						if w > si || (w == si && seg.parallel && !producedEarlier(sc, seg, i, srcs[s])) {
+							t.Logf("instr %d reads slot %d produced in segment %d >= %d", i, srcs[s], w, si)
+							return false
+						}
+					}
+				}
+			}
+			for in, c := range counts {
+				if c != 0 {
+					t.Logf("instruction %v count off by %d after reordering", in, c)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// producedEarlier reports whether slot is written before index i within
+// the same segment (only legal for serial segments, which run in order).
+func producedEarlier(sc *Schedule, seg segment, i int, slot int32) bool {
+	for j := seg.start; j < i; j++ {
+		if sc.instrs[j].Dst == slot {
+			return !seg.parallel
+		}
+	}
+	return false
+}
+
+// TestParallelEvalBitIdentical is the engine's core property test:
+// parallel evaluation of random eqgen systems is bit-identical to serial
+// evaluation, for both the RHS and the Jacobian tape, across pool widths.
+func TestParallelEvalBitIdentical(t *testing.T) {
+	pools := []*parallel.Pool{parallel.NewPool(2), parallel.NewPool(3), parallel.NewPool(8)}
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomSystem(rng)
+		for _, o := range []opt.Options{{}, opt.Full()} {
+			prog := compileSystem(t, sys, o)
+			y, k := randomInputs(rng, prog)
+			want := make([]float64, prog.NumY)
+			prog.NewEvaluator().Eval(y, k, want)
+			for _, pool := range pools {
+				ev := prog.NewEvaluator()
+				ev.SetParallel(pool)
+				ev.SetParallelThreshold(1)
+				got := make([]float64, prog.NumY)
+				ev.Eval(y, k, got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Logf("seed %d workers %d eq %d: %v != %v (bit difference)",
+							seed, pool.Workers(), i, got[i], want[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelEvalWideSystem forces the actual fan-out path (level widths
+// above minParallelWidth) and checks bit-identical results plus the
+// observability counters.
+func TestParallelEvalWideSystem(t *testing.T) {
+	sys := familySystem(14) // 196 cross products: wide early levels
+	for _, o := range []opt.Options{{}, opt.Full()} {
+		prog := compileSystem(t, sys, o)
+		sc := prog.Schedule()
+		if sc == nil {
+			t.Fatal("wide tape failed levelization")
+		}
+		if sc.MaxWidth() < minParallelWidth {
+			t.Skipf("family tape too narrow (%d) to exercise fan-out", sc.MaxWidth())
+		}
+		rng := rand.New(rand.NewSource(7))
+		y, k := randomInputs(rng, prog)
+		want := make([]float64, prog.NumY)
+		serial := prog.NewEvaluator()
+		serial.Eval(y, k, want)
+		for _, workers := range []int{2, 3, 8} {
+			pool := parallel.NewPool(workers)
+			ev := prog.NewEvaluator()
+			ev.SetParallel(pool)
+			ev.SetParallelThreshold(1)
+			ev.EnableStats(true)
+			got := make([]float64, prog.NumY)
+			for rep := 0; rep < 3; rep++ {
+				ev.Eval(y, k, got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d rep=%d eq %d: %v != %v", workers, rep, i, got[i], want[i])
+					}
+				}
+			}
+			st := ev.ParallelStats()
+			if st.ParallelEvals != 3 {
+				t.Errorf("workers=%d: ParallelEvals = %d, want 3", workers, st.ParallelEvals)
+			}
+			if st.Levels != sc.NumLevels() || st.MaxWidth != sc.MaxWidth() {
+				t.Errorf("workers=%d: stats shape (%d,%d) != schedule (%d,%d)",
+					workers, st.Levels, st.MaxWidth, sc.NumLevels(), sc.MaxWidth())
+			}
+			if st.ModeledSpeedup <= 1 {
+				t.Errorf("workers=%d: modeled speedup %.2f <= 1 on a wide tape", workers, st.ModeledSpeedup)
+			}
+			if st.ChunkImbalance < 1 {
+				t.Errorf("workers=%d: chunk imbalance %.3f < 1", workers, st.ChunkImbalance)
+			}
+			if st.WallNs <= 0 {
+				t.Errorf("workers=%d: no wall time accumulated with stats on", workers)
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestParallelJacobianBitIdentical covers the Jacobian tape path.
+func TestParallelJacobianBitIdentical(t *testing.T) {
+	sys := familySystem(10)
+	jp, err := CompileJacobian(sys, opt.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	y, k := randomInputs(rng, jp.Prog)
+	n := jp.N
+	want := linalg.NewMatrix(n, n)
+	jp.NewEvaluator().Eval(y, k, want)
+	for _, workers := range []int{2, 8} {
+		pool := parallel.NewPool(workers)
+		je := jp.NewEvaluator()
+		je.SetParallel(pool)
+		je.ev.SetParallelThreshold(1)
+		got := linalg.NewMatrix(n, n)
+		je.Eval(y, k, got)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: J entry %d: %v != %v", workers, i, got.Data[i], want.Data[i])
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestScheduleRejectsNonSSA: tapes that reassign a slot, or read a slot
+// before a later write, must fail levelization (and stay serial).
+func TestScheduleRejectsNonSSA(t *testing.T) {
+	double := &Program{
+		NumY: 1, NumK: 0, NumSlots: 3,
+		Code: []Instr{
+			{Op: OpMov, Dst: 2, A: 1},
+			{Op: OpMov, Dst: 2, A: 1},
+		},
+		Out: []int32{2},
+	}
+	if double.Schedule() != nil {
+		t.Error("double-write tape levelized")
+	}
+	antiDep := &Program{
+		NumY: 1, NumK: 0, NumSlots: 3,
+		Code: []Instr{
+			{Op: OpMov, Dst: 2, A: 1}, // reads slot 1 ...
+			{Op: OpMov, Dst: 1, A: 2}, // ... which is written afterwards
+		},
+		Out: []int32{2},
+	}
+	if antiDep.Schedule() != nil {
+		t.Error("anti-dependent tape levelized")
+	}
+	outOfRange := &Program{
+		NumY: 1, NumK: 0, NumSlots: 2,
+		Code: []Instr{{Op: OpMov, Dst: 5, A: 1}},
+		Out:  []int32{1},
+	}
+	if outOfRange.Schedule() != nil {
+		t.Error("out-of-range tape levelized")
+	}
+}
+
+// TestParallelFallbackBelowThreshold: a parallel-enabled evaluator on a
+// small tape keeps the serial interpreter and counts the fallback.
+func TestParallelFallbackBelowThreshold(t *testing.T) {
+	prog := compileSystem(t, fig3System(t), opt.Options{})
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	ev := prog.NewEvaluator()
+	ev.SetParallel(pool)
+	y := []float64{1, 0, 0.5, 0.25, 0}
+	k := []float64{2, 4}
+	dy := make([]float64, 5)
+	ev.Eval(y, k, dy)
+	st := ev.ParallelStats()
+	if st.SerialEvals != 1 || st.ParallelEvals != 0 {
+		t.Errorf("fallback counters = %+v", st)
+	}
+}
+
+// TestPreludeRerunsOnInPlaceKMutation is the regression test for the
+// prelude cache: mutating the k slice in place between evaluations must
+// rerun the prelude, not reuse the one cached for the old values.
+func TestPreludeRerunsOnInPlaceKMutation(t *testing.T) {
+	// Three equivalent-site instances of one reaction plus a second rate
+	// give the hoister k-invariants (3·K_1 + K_2), so the tape has a real
+	// prelude.
+	n := network.New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("B", "", 0)
+	for s := 0; s < 3; s++ {
+		n.AddReaction("r", "K_1", []string{"A"}, []string{"B"})
+	}
+	n.AddReaction("r2", "K_2", []string{"A"}, []string{"B"})
+	prog := compileSystem(t, eqgen.FromNetwork(n), opt.Full())
+	if len(prog.Prelude) == 0 {
+		t.Fatal("test system has no prelude; pick one with hoistable k-work")
+	}
+	y := []float64{1, 0}
+	k := []float64{2, 4}
+	ev := prog.NewEvaluator()
+	dy := make([]float64, prog.NumY)
+	ev.Eval(y, k, dy)
+	// Mutate k in place: same slice header, new values.
+	k[0], k[1] = 5, 0.25
+	got := make([]float64, prog.NumY)
+	ev.Eval(y, k, got)
+	want := make([]float64, prog.NumY)
+	prog.NewEvaluator().Eval(y, k, want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stale prelude after in-place k mutation: dy[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPreludeRunsWithNoRateConstants: with NumK == 0 the first
+// evaluation's k compares equal to the evaluator's empty cache, but the
+// prelude must still run once.
+func TestPreludeRunsWithNoRateConstants(t *testing.T) {
+	// Layout [consts | y | scratch]: slot0 = 2, slot1 = y[0],
+	// prelude: slot2 = 2*2, code: slot3 = slot2*y.
+	prog := &Program{
+		NumY: 1, NumK: 0,
+		Consts:   []float64{2},
+		NumSlots: 4,
+		Prelude:  []Instr{{Op: OpMul, Dst: 2, A: 0, B: 0}},
+		Code:     []Instr{{Op: OpMul, Dst: 3, A: 2, B: 1}},
+		Out:      []int32{3},
+	}
+	ev := prog.NewEvaluator()
+	dy := make([]float64, 1)
+	ev.Eval([]float64{3}, nil, dy)
+	if dy[0] != 12 {
+		t.Errorf("dy = %v, want 12 (prelude skipped on first evaluation?)", dy[0])
+	}
+}
+
+func TestChunkRangeCoversLevel(t *testing.T) {
+	for _, tc := range []struct{ width, workers int }{
+		{128, 8}, {129, 8}, {1000, 7}, {32, 8}, {5000, 16},
+	} {
+		parts := chunksFor(tc.width, tc.workers)
+		if parts < 1 || parts > tc.workers {
+			t.Fatalf("chunksFor(%d,%d) = %d", tc.width, tc.workers, parts)
+		}
+		covered := 0
+		prevEnd := 100
+		for id := 0; id < parts; id++ {
+			lo, hi := chunkRange(100, tc.width, parts, id)
+			if lo != prevEnd {
+				t.Fatalf("width=%d parts=%d chunk %d starts at %d, want %d", tc.width, parts, id, lo, prevEnd)
+			}
+			covered += hi - lo
+			prevEnd = hi
+		}
+		if covered != tc.width {
+			t.Fatalf("width=%d parts=%d covers %d", tc.width, parts, covered)
+		}
+	}
+}
+
+func TestScheduleShapeOnFamily(t *testing.T) {
+	prog := compileSystem(t, familySystem(14), opt.Options{})
+	sc := prog.Schedule()
+	if sc == nil {
+		t.Fatal("no schedule")
+	}
+	if sc.ParallelInstrs()+sc.SerialInstrs() != len(prog.Code) {
+		t.Errorf("parallel %d + serial %d != tape %d",
+			sc.ParallelInstrs(), sc.SerialInstrs(), len(prog.Code))
+	}
+	if got := fmt.Sprintf("%d", sc.NumSegments()); got == "0" {
+		t.Error("no segments")
+	}
+	if sc.CriticalPathOps(1) != len(prog.Code) {
+		t.Errorf("1-worker critical path %d != tape %d", sc.CriticalPathOps(1), len(prog.Code))
+	}
+	if sp := sc.ModeledSpeedup(8); sp < 1 {
+		t.Errorf("modeled speedup %v < 1", sp)
+	}
+}

@@ -1,0 +1,208 @@
+package codegen
+
+import (
+	"time"
+
+	"rms/internal/parallel"
+)
+
+// DefaultParallelThreshold is the tape size below which a
+// parallel-enabled evaluator keeps the serial interpreter: small systems
+// finish before a single barrier round-trip would.
+const DefaultParallelThreshold = 2048
+
+// Schedule returns the levelized execution plan for the per-evaluation
+// code, computing it on first use and caching it on the Program. It
+// returns nil when the tape is not levelizable (not single-assignment);
+// callers then fall back to serial execution.
+func (p *Program) Schedule() *Schedule {
+	p.schedOnce.Do(func() {
+		p.sched = levelize(p.Code, p.NumSlots)
+	})
+	return p.sched
+}
+
+// parState is an evaluator's attachment to a worker pool.
+type parState struct {
+	pool      *parallel.Pool
+	bar       *parallel.Barrier
+	threshold int
+	statsOn   bool
+	busyNs    []int64 // per-worker busy time of the last evaluation
+	stats     ParallelStats
+}
+
+// ParallelStats are the execution engine's observability counters: the
+// static shape of the levelized schedule plus accumulated runtime
+// behaviour, the data future load-balancing work needs.
+type ParallelStats struct {
+	// Static schedule shape (zero until the first parallel evaluation).
+	Workers         int
+	Levels          int
+	Segments        int
+	MaxWidth        int
+	TapeInstrs      int
+	ParallelInstrs  int
+	SerialInstrs    int
+	CriticalPathOps int
+	// ModeledSpeedup is TapeInstrs / CriticalPathOps: the speedup the
+	// schedule admits with one core per worker, before barrier overhead —
+	// the engine's analogue of the estimator's modeled parallel time.
+	ModeledSpeedup float64
+	// ChunkImbalance is the mean largest-chunk/average-chunk ratio across
+	// parallel levels (1.0 = perfectly balanced).
+	ChunkImbalance float64
+
+	// Accumulated runtime counters.
+	ParallelEvals int64
+	SerialEvals   int64 // parallel-enabled evaluations that fell back
+	// BusyNs and WallNs accumulate only while stats collection is enabled
+	// (EnableStats); Utilization derives from them.
+	BusyNs int64
+	WallNs int64
+}
+
+// Utilization returns the measured worker utilization: total busy time
+// over wall time times pool width. Zero until stats collection is
+// enabled.
+func (st ParallelStats) Utilization() float64 {
+	if st.WallNs == 0 || st.Workers == 0 {
+		return 0
+	}
+	return float64(st.BusyNs) / (float64(st.WallNs) * float64(st.Workers))
+}
+
+// SetParallel attaches the evaluator to a worker pool: evaluations of
+// tapes at least DefaultParallelThreshold instructions long (see
+// SetParallelThreshold) execute level by level across the pool, with
+// results bit-identical to serial execution. A nil pool (or width 1)
+// detaches. The evaluator remains single-goroutine; the pool may be
+// shared between evaluators, in which case their evaluations serialize.
+func (e *Evaluator) SetParallel(pool *parallel.Pool) {
+	if pool == nil || pool.Workers() <= 1 {
+		e.par = nil
+		return
+	}
+	e.par = &parState{
+		pool:      pool,
+		bar:       parallel.NewBarrier(pool.Workers()),
+		threshold: DefaultParallelThreshold,
+		busyNs:    make([]int64, pool.Workers()),
+	}
+	e.par.stats.Workers = pool.Workers()
+}
+
+// SetParallelThreshold overrides the minimum tape length for parallel
+// execution (testing hook; production code keeps the default).
+func (e *Evaluator) SetParallelThreshold(n int) {
+	if e.par != nil {
+		e.par.threshold = n
+	}
+}
+
+// EnableStats toggles busy/wall time measurement for Utilization. Off by
+// default: timing costs a couple of clock reads per chunk.
+func (e *Evaluator) EnableStats(on bool) {
+	if e.par != nil {
+		e.par.statsOn = on
+	}
+}
+
+// ParallelStats returns the engine counters accumulated so far. The zero
+// value reports a serial-only evaluator.
+func (e *Evaluator) ParallelStats() ParallelStats {
+	if e.par == nil {
+		return ParallelStats{}
+	}
+	return e.par.stats
+}
+
+// runMain executes the per-evaluation code, choosing the parallel engine
+// when it is attached and the tape is worth fanning out.
+func (e *Evaluator) runMain() {
+	par := e.par
+	if par == nil {
+		runCode(e.slots, e.prog.Code)
+		return
+	}
+	sc := e.prog.Schedule()
+	if sc == nil || len(e.prog.Code) < par.threshold || sc.parallelN == 0 {
+		par.stats.SerialEvals++
+		runCode(e.slots, e.prog.Code)
+		return
+	}
+	if par.stats.ParallelEvals == 0 {
+		par.fillStatic(sc)
+	}
+	par.stats.ParallelEvals++
+	e.runLevels(sc)
+}
+
+// fillStatic records the schedule's shape in the counters once.
+func (p *parState) fillStatic(sc *Schedule) {
+	w := p.pool.Workers()
+	p.stats.Levels = sc.NumLevels()
+	p.stats.Segments = sc.NumSegments()
+	p.stats.MaxWidth = sc.MaxWidth()
+	p.stats.TapeInstrs = len(sc.instrs)
+	p.stats.ParallelInstrs = sc.ParallelInstrs()
+	p.stats.SerialInstrs = sc.SerialInstrs()
+	p.stats.CriticalPathOps = sc.CriticalPathOps(w)
+	p.stats.ModeledSpeedup = sc.ModeledSpeedup(w)
+	p.stats.ChunkImbalance = sc.ChunkImbalance(w)
+}
+
+// runLevels sweeps the schedule's segments across the pool. Every worker
+// walks the same segment sequence and meets the others at a barrier after
+// each segment, so an instruction only runs once all instructions of
+// lower levels have completed. Within a segment each worker's chunk is a
+// contiguous instruction range writing disjoint slots, which is what
+// makes the result bit-identical to serial execution.
+func (e *Evaluator) runLevels(sc *Schedule) {
+	par := e.par
+	s := e.slots
+	w := par.pool.Workers()
+	statsOn := par.statsOn
+	var start time.Time
+	if statsOn {
+		start = time.Now()
+	}
+	par.pool.Do(func(id int) {
+		var busy int64
+		for _, seg := range sc.segs {
+			if seg.parallel {
+				width := seg.end - seg.start
+				parts := chunksFor(width, w)
+				if id < parts {
+					lo, hi := chunkRange(seg.start, width, parts, id)
+					if statsOn {
+						t0 := time.Now()
+						runCode(s, sc.instrs[lo:hi])
+						busy += int64(time.Since(t0))
+					} else {
+						runCode(s, sc.instrs[lo:hi])
+					}
+				}
+			} else if id == 0 {
+				if statsOn {
+					t0 := time.Now()
+					runCode(s, sc.instrs[seg.start:seg.end])
+					busy += int64(time.Since(t0))
+				} else {
+					runCode(s, sc.instrs[seg.start:seg.end])
+				}
+			}
+			par.bar.Await()
+		}
+		// Written before the pool's completion barrier, read after it:
+		// no two workers share an index, so this is race-free.
+		par.busyNs[id] = busy
+	})
+	if statsOn {
+		par.stats.WallNs += int64(time.Since(start))
+		for i := range par.busyNs {
+			par.stats.BusyNs += par.busyNs[i]
+			par.busyNs[i] = 0
+		}
+	}
+}

@@ -10,7 +10,10 @@
 //     reproducing the capacity behaviour of Table 1.
 package codegen
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // OpCode enumerates tape instructions.
 type OpCode uint8
@@ -75,6 +78,11 @@ type Program struct {
 	Code []Instr
 	// Out[i] is the slot holding dy[i].
 	Out []int32
+
+	// Memoized levelized schedule (see Schedule); built on first use,
+	// shared by all evaluators over this program.
+	schedOnce sync.Once
+	sched     *Schedule
 }
 
 // YSlot returns the slot index of y[i].
@@ -92,11 +100,18 @@ func (p *Program) NewEvaluator() *Evaluator {
 	return e
 }
 
-// Evaluator executes a Program. One evaluator per goroutine.
+// Evaluator executes a Program. One evaluator per goroutine; an
+// evaluator attached to a worker pool (SetParallel) fans wide tapes out
+// across the pool but still accepts calls from only one goroutine.
 type Evaluator struct {
 	prog  *Program
 	slots []float64
 	lastK []float64
+	// preludeDone distinguishes "never evaluated" from "evaluated with an
+	// empty or equal k": the prelude must run on the first evaluation even
+	// when lastK compares equal to k (e.g. a program with NumK == 0).
+	preludeDone bool
+	par         *parState
 }
 
 // Eval computes dy = f(y, k). dy must have length len(Out) (NumY for ODE
@@ -123,12 +138,17 @@ func (e *Evaluator) EvalSlots(y, k []float64) {
 	}
 	s := e.slots
 	copy(s[len(p.Consts):], y)
-	if !floatsEqual(e.lastK, k) {
+	// Rerun the prelude whenever the rate constants change *by value*: the
+	// caller may mutate k in place between evaluations (the optimizer's
+	// line-search loop does exactly that), so slice identity proves
+	// nothing — lastK is a private copy compared element-wise.
+	if !e.preludeDone || !floatsEqual(e.lastK, k) {
 		copy(s[len(p.Consts)+p.NumY:], k)
 		runCode(s, p.Prelude)
 		e.lastK = append(e.lastK[:0], k...)
+		e.preludeDone = true
 	}
-	runCode(s, p.Code)
+	e.runMain()
 }
 
 // Slot reads a slot value after EvalSlots.

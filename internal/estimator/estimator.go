@@ -28,6 +28,7 @@ import (
 	"rms/internal/mpi"
 	"rms/internal/nlopt"
 	"rms/internal/ode"
+	"rms/internal/parallel"
 	"rms/internal/stats"
 )
 
@@ -62,6 +63,12 @@ type Config struct {
 	Ranks int
 	// LoadBalance enables the dynamic load balancing algorithm.
 	LoadBalance bool
+	// Workers > 1 gives each rank a worker pool of that width for
+	// levelized parallel tape evaluation (see codegen.SetParallel) — the
+	// intra-rank parallelism to use when ranks < cores. Large systems'
+	// RHS and Jacobian tapes then fan out across the pool; results stay
+	// bit-identical to serial evaluation.
+	Workers int
 }
 
 // Estimator runs parallel objective evaluations and parameter fits.
@@ -74,6 +81,9 @@ type Estimator struct {
 	assignment [][]int
 	// lastTimes[i] is the most recent solve time of file i, seconds.
 	lastTimes []float64
+	// pools[r] is rank r's worker pool for intra-rank parallel tape
+	// evaluation (nil without cfg.Workers).
+	pools []*parallel.Pool
 
 	// Accumulated across objective calls:
 	calls       int
@@ -107,8 +117,24 @@ func New(model *Model, files []*dataset.File, cfg Config) (*Estimator, error) {
 		lastTimes: make([]float64, len(files)),
 	}
 	e.assignment = blockAssign(len(files), cfg.Ranks)
+	if cfg.Workers > 1 {
+		// One pool per rank: ranks evaluate concurrently, and sharing a
+		// pool would serialize their tape sweeps against each other.
+		e.pools = make([]*parallel.Pool, cfg.Ranks)
+		for r := range e.pools {
+			e.pools[r] = parallel.NewPool(cfg.Workers)
+		}
+	}
 	e.calibrate()
 	return e, nil
+}
+
+// Close releases the per-rank worker pools. The estimator must be idle.
+func (e *Estimator) Close() {
+	for _, p := range e.pools {
+		p.Close()
+	}
+	e.pools = nil
 }
 
 // calibrate measures this host's cost per model work unit (one tape
@@ -225,8 +251,13 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 		localErr := make([]float64, m)
 		localTime := make([]float64, nf)
 		ev := e.model.Prog.NewEvaluator()
+		var pool *parallel.Pool
+		if e.pools != nil {
+			pool = e.pools[c.Rank()]
+			ev.SetParallel(pool)
+		}
 		for _, fi := range assignment[c.Rank()] {
-			st, err := e.solveFile(ev, e.files[fi], k, localErr)
+			st, err := e.solveFile(ev, pool, e.files[fi], k, localErr)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -273,7 +304,7 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 // accumulating simulated-minus-observed into errvec (per Fig. 9's inner
 // loop: initialize the solver, then integrate record to record). It
 // returns the solver work statistics, the per-file cost measure.
-func (e *Estimator) solveFile(ev *codegen.Evaluator, f *dataset.File, k []float64, errvec []float64) (ode.Stats, error) {
+func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dataset.File, k []float64, errvec []float64) (ode.Stats, error) {
 	n := e.model.Prog.NumY
 	y := make([]float64, n)
 	copy(y, e.model.Y0)
@@ -288,6 +319,9 @@ func (e *Estimator) solveFile(ev *codegen.Evaluator, f *dataset.File, k []float6
 		opts := e.model.SolverOpts
 		if e.model.AnalyticJac != nil {
 			jacEv := e.model.AnalyticJac.NewEvaluator()
+			if pool != nil {
+				jacEv.SetParallel(pool)
+			}
 			opts.Jacobian = func(_ float64, yy []float64, dst *linalg.Matrix) {
 				jacEv.Eval(yy, k, dst)
 			}
@@ -383,13 +417,22 @@ func blockAssign(nFiles, ranks int) [][]int {
 
 // AssignLPT is the paper's dynamic load balancing algorithm: files are
 // ordered by non-increasing solve time (the priority queue) and each is
-// allocated to the rank with the least total allocated time so far.
+// allocated to the rank with the least total allocated time so far. The
+// result is fully deterministic: equal solve times break toward the
+// lower file index, and a tie between rank loads goes to the lower rank,
+// so repeated calls with the same times give the same assignment.
 func AssignLPT(times []float64, ranks int) [][]int {
 	order := make([]int, len(times))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return times[order[a]] > times[order[b]] })
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := times[order[a]], times[order[b]]
+		if ta != tb {
+			return ta > tb
+		}
+		return order[a] < order[b]
+	})
 	out := make([][]int, ranks)
 	loads := make([]float64, ranks)
 	for _, fi := range order {

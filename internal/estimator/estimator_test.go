@@ -246,6 +246,96 @@ func TestAssignLPTProperties(t *testing.T) {
 	}
 }
 
+// Regression: LPT must be fully deterministic when solve times tie. With
+// all-equal times the index tie-break makes the sorted order exactly
+// 0..n-1 and the least-loaded-rank rule (ties to the lower rank) deals
+// files round-robin, so the assignment is known in closed form — and
+// repeated calls must reproduce it bit-for-bit.
+func TestAssignLPTDeterministicUnderTies(t *testing.T) {
+	times := make([]float64, 11)
+	for i := range times {
+		times[i] = 3.5
+	}
+	const ranks = 4
+	want := AssignLPT(times, ranks)
+	for r := range want {
+		for j, fi := range want[r] {
+			if fi != j*ranks+r {
+				t.Fatalf("rank %d file %d = %d, want round-robin %d", r, j, fi, j*ranks+r)
+			}
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		got := AssignLPT(times, ranks)
+		for r := range want {
+			if len(got[r]) != len(want[r]) {
+				t.Fatalf("trial %d: rank %d size changed", trial, r)
+			}
+			for j := range want[r] {
+				if got[r][j] != want[r][j] {
+					t.Fatalf("trial %d: assignment not deterministic: rank %d got %v want %v",
+						trial, r, got[r], want[r])
+				}
+			}
+		}
+	}
+	// Partial ties among distinct values stay deterministic too.
+	mixed := []float64{2, 7, 2, 7, 5, 2, 5}
+	first := AssignLPT(mixed, 3)
+	for trial := 0; trial < 50; trial++ {
+		got := AssignLPT(mixed, 3)
+		for r := range first {
+			for j := range first[r] {
+				if got[r][j] != first[r][j] {
+					t.Fatalf("mixed ties: trial %d rank %d got %v want %v", trial, r, got[r], first[r])
+				}
+			}
+		}
+	}
+}
+
+// Workers > 1 attaches per-rank pools to the tape evaluators; residuals
+// must stay bit-identical to the serial configuration, with and without
+// the analytic Jacobian.
+func TestObjectiveWorkersBitIdentical(t *testing.T) {
+	m := decayModel(t)
+	n := network.New()
+	n.AddSpecies("A", "", 1)
+	n.AddSpecies("B", "", 0)
+	n.AddReaction("r", "K_d", []string{"A"}, []string{"B"})
+	sys := eqgen.FromNetwork(n)
+	jp, err := codegen.CompileJacobian(sys, opt.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withJac := *m
+	withJac.AnalyticJac = jp
+
+	files := makeFiles(1.3, []int{35, 25, 15})
+	for _, model := range []*Model{m, &withJac} {
+		run := func(workers int) []float64 {
+			e, err := New(model, files, Config{Ranks: 2, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			r := make([]float64, e.ResidualDim())
+			if err := e.Objective([]float64{0.9}, r); err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		serial := run(0)
+		par := run(4)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Errorf("jac=%v residual[%d]: workers=4 %v differs from serial %v",
+					model.AnalyticJac != nil, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
 // Dynamic load balancing takes effect: after one call with imbalanced
 // per-file costs, the reassignment's makespan is no worse than the static
 // one under the measured times.

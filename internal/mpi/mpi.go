@@ -108,14 +108,34 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.world.size }
 
 // Send delivers data to the given rank (buffered, non-blocking up to the
-// channel capacity).
+// channel capacity). Like the collectives, a Send blocked on a full
+// buffer aborts when a peer rank dies instead of hanging.
 func (c *Comm) Send(to int, data any) {
-	c.world.ch[c.rank][to] <- data
+	select {
+	case c.world.ch[c.rank][to] <- data:
+	case <-c.world.dead:
+		panic(abortError{})
+	}
 }
 
 // Recv receives the next message sent by the given rank (FIFO per pair).
+// A Recv from a rank that dies before sending aborts the communicator
+// instead of blocking forever; messages already buffered before the
+// death still drain in order.
 func (c *Comm) Recv(from int) any {
-	return <-c.world.ch[from][c.rank]
+	// Prefer buffered messages over the abort signal so an in-flight
+	// message from a since-dead peer is not lost.
+	select {
+	case v := <-c.world.ch[from][c.rank]:
+		return v
+	default:
+	}
+	select {
+	case v := <-c.world.ch[from][c.rank]:
+		return v
+	case <-c.world.dead:
+		panic(abortError{})
+	}
 }
 
 // collect gathers one value per rank at rank 0, applies f there, and

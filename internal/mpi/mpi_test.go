@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRankAndSize(t *testing.T) {
@@ -149,6 +150,96 @@ func TestPanicPropagates(t *testing.T) {
 		// Other ranks blocked in a collective must be released.
 		c.Barrier()
 	})
+}
+
+// A rank blocked in Recv from a peer that panics must abort with the
+// communicator instead of hanging (the point-to-point analogue of
+// TestPanicPropagates). Run itself would never return on a hang, so the
+// test drives Run from a goroutine and fails on timeout.
+func TestRecvFromDeadPeerAborts(t *testing.T) {
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Run(2, func(c *Comm) {
+			if c.Rank() == 0 {
+				panic("boom")
+			}
+			c.Recv(0) // rank 0 never sends
+		})
+	}()
+	select {
+	case p := <-done:
+		if p == nil {
+			t.Fatal("Run returned without propagating the panic")
+		}
+		if !strings.Contains(p.(string), "rank 0 panicked: boom") {
+			t.Errorf("panic = %v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rank blocked in Recv from a dead peer hung")
+	}
+}
+
+// A Send blocked on a full channel buffer must also unblock when the
+// receiving rank dies.
+func TestSendToDeadPeerAborts(t *testing.T) {
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Run(2, func(c *Comm) {
+			if c.Rank() == 1 {
+				panic("boom")
+			}
+			for i := 0; ; i++ { // overflow the 16-slot buffer
+				c.Send(1, i)
+			}
+		})
+	}()
+	select {
+	case p := <-done:
+		if p == nil {
+			t.Fatal("Run returned without propagating the panic")
+		}
+		if !strings.Contains(p.(string), "rank 1 panicked: boom") {
+			t.Errorf("panic = %v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rank blocked in Send to a dead peer hung")
+	}
+}
+
+// Messages buffered before a peer's death still drain in FIFO order
+// before the abort fires.
+func TestRecvDrainsBufferedBeforeAbort(t *testing.T) {
+	done := make(chan any, 1)
+	var got []int
+	go func() {
+		defer func() { done <- recover() }()
+		Run(2, func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Send(1, 1)
+				c.Send(1, 2)
+				panic("boom")
+			}
+			// Wait for the peer to die so both messages are buffered and
+			// the dead channel is closed before the first Recv.
+			<-time.After(50 * time.Millisecond)
+			got = append(got, c.Recv(0).(int))
+			got = append(got, c.Recv(0).(int))
+			c.Recv(0) // nothing more: must abort, not hang
+		})
+	}()
+	select {
+	case p := <-done:
+		if p == nil {
+			t.Fatal("Run returned without propagating the panic")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv hung with messages drained and peer dead")
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("drained %v, want [1 2]", got)
+	}
 }
 
 func TestInvalidSize(t *testing.T) {

@@ -1,0 +1,170 @@
+// Package parallel provides the persistent worker pool and barrier
+// primitives behind the levelized tape execution engine (package
+// codegen). The pool exists so that every RHS evaluation inside the ODE
+// solver's Newton and stage loops reuses the same long-lived worker
+// goroutines instead of spawning new ones: at hundreds of thousands of
+// evaluations per fit, goroutine startup would dominate the kernel.
+//
+// The calling goroutine is always participant 0, so a Pool of W workers
+// occupies exactly W goroutines while running (W-1 helpers plus the
+// caller) and the caller is never idle-blocked behind its own helpers.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size set of persistent workers. Dispatches are
+// serialized internally, so a Pool may be shared by several goroutines;
+// each Do/Run then runs exclusively but callers queue. For concurrent
+// dispatch without queuing, use one Pool per dispatching goroutine.
+type Pool struct {
+	workers int
+	mu      sync.Mutex
+	jobs    []chan poolJob // one per helper goroutine (workers-1)
+	closed  bool
+}
+
+type poolJob struct {
+	fn func(worker int)
+	wg *sync.WaitGroup
+}
+
+// NewPool returns a pool of the given width. workers <= 0 selects
+// runtime.NumCPU(). A pool of width 1 runs everything on the caller and
+// spawns nothing.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{workers: workers}
+	p.jobs = make([]chan poolJob, workers-1)
+	for i := range p.jobs {
+		ch := make(chan poolJob, 1)
+		p.jobs[i] = ch
+		id := i + 1
+		go func() {
+			for j := range ch {
+				j.fn(id)
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool width (helper goroutines plus the caller).
+// A nil pool has width 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Do runs fn once per participant, passing each its worker id in
+// [0, Workers()); fn(0) runs on the calling goroutine. Do returns after
+// every participant has returned, so fn invocations of one Do never
+// overlap with those of the next. fn must not panic: a panicking
+// participant would strand the others at any barrier fn synchronizes on.
+func (p *Pool) Do(fn func(worker int)) {
+	if p == nil || p.workers <= 1 {
+		fn(0)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		panic("parallel: Do on a closed Pool")
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(p.jobs))
+	job := poolJob{fn: fn, wg: &wg}
+	for _, ch := range p.jobs {
+		ch <- job
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// Run executes fn for every task index in [0, tasks), distributing tasks
+// across the pool with work stealing (an atomic cursor), and returns when
+// all tasks have completed.
+func (p *Pool) Run(tasks int, fn func(task int)) {
+	if tasks <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || tasks == 1 {
+		for t := 0; t < tasks; t++ {
+			fn(t)
+		}
+		return
+	}
+	var next atomic.Int64
+	p.Do(func(int) {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= tasks {
+				return
+			}
+			fn(t)
+		}
+	})
+}
+
+// Close releases the helper goroutines. The pool must be idle; Do and Run
+// must not be called afterwards.
+func (p *Pool) Close() {
+	if p == nil || p.workers <= 1 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}
+
+// Barrier is a reusable sense-reversing barrier for a fixed number of
+// parties. All parties must call Await the same number of times; the
+// barrier resets itself after each full arrival, so it can gate every
+// level of a levelized sweep.
+type Barrier struct {
+	parties int32
+	arrived atomic.Int32
+	gen     atomic.Uint32
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic(fmt.Sprintf("parallel: barrier of %d parties", parties))
+	}
+	return &Barrier{parties: int32(parties)}
+}
+
+// Await blocks until all parties have called Await for the current
+// generation. The last arrival releases the others and resets the
+// barrier. Waiters spin briefly then yield, which keeps the common case
+// (balanced level chunks finishing together) in the nanosecond range
+// without starving an oversubscribed scheduler.
+func (b *Barrier) Await() {
+	g := b.gen.Load()
+	if b.arrived.Add(1) == b.parties {
+		b.arrived.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for spins := 0; b.gen.Load() == g; spins++ {
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryWorkerOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		p := NewPool(w)
+		counts := make([]atomic.Int32, w)
+		for round := 0; round < 50; round++ {
+			p.Do(func(id int) {
+				counts[id].Add(1)
+			})
+		}
+		for id := range counts {
+			if got := counts[id].Load(); got != 50 {
+				t.Errorf("w=%d: worker %d ran %d times, want 50", w, id, got)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestDoCallerIsWorkerZero(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var zeroRuns atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		p.Do(func(id int) {
+			if id == 0 {
+				zeroRuns.Add(1)
+			}
+		})
+		close(done)
+	}()
+	<-done
+	if zeroRuns.Load() != 1 {
+		t.Errorf("worker 0 ran %d times", zeroRuns.Load())
+	}
+}
+
+func TestRunCoversAllTasks(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		p := NewPool(w)
+		const tasks = 1000
+		var hits [tasks]atomic.Int32
+		p.Run(tasks, func(task int) {
+			hits[task].Add(1)
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("w=%d: task %d ran %d times", w, i, hits[i].Load())
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunZeroAndOneTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.Run(0, func(int) { t.Error("task ran for tasks=0") })
+	ran := 0
+	p.Run(1, func(task int) { ran++ })
+	if ran != 1 {
+		t.Errorf("tasks=1 ran %d times", ran)
+	}
+}
+
+func TestNilAndWidthOnePool(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Errorf("nil pool width = %d", p.Workers())
+	}
+	ran := false
+	p.Do(func(id int) {
+		if id != 0 {
+			t.Errorf("nil pool worker id = %d", id)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Error("nil pool did not run fn")
+	}
+	p.Close()
+
+	one := NewPool(1)
+	sum := 0
+	one.Run(10, func(task int) { sum += task })
+	if sum != 45 {
+		t.Errorf("width-1 Run sum = %d", sum)
+	}
+	one.Close()
+}
+
+// Concurrent dispatchers sharing one pool serialize instead of
+// interleaving participants (which would deadlock barriers).
+func TestConcurrentDoSerializes(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var inFlight, maxInFlight atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				b := NewBarrier(p.Workers())
+				p.Do(func(id int) {
+					if id == 0 {
+						n := inFlight.Add(1)
+						for {
+							m := maxInFlight.Load()
+							if n <= m || maxInFlight.CompareAndSwap(m, n) {
+								break
+							}
+						}
+					}
+					// All participants must belong to the same dispatch
+					// for this barrier to release.
+					b.Await()
+					if id == 0 {
+						inFlight.Add(-1)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInFlight.Load() != 1 {
+		t.Errorf("max concurrent dispatches = %d, want 1", maxInFlight.Load())
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	const parties, rounds = 4, 200
+	b := NewBarrier(parties)
+	var phase atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b.Await()
+				// Between two Awaits every party observes the same phase
+				// parity; a broken barrier would let one goroutine lap the
+				// others.
+				if p := phase.Load(); int(p) > r+1 || int(p) < r {
+					t.Errorf("phase %d at round %d", p, r)
+					return
+				}
+				b.Await()
+				if i == 0 {
+					phase.Add(1)
+				}
+				b.Await()
+			}
+		}()
+	}
+	wg.Wait()
+	if phase.Load() != rounds {
+		t.Errorf("phase = %d, want %d", phase.Load(), rounds)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(3)
+	p.Close()
+	p.Close()
+}

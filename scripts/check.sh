@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repository checks: vet everything, then race-test the concurrency-heavy
+# packages (the simulated MPI runtime, the worker pool, and the parallel
+# estimator). Run from the repository root; the full serial test suite is
+# `go test ./...`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race (mpi, parallel, estimator)"
+go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/...
+
+echo "ok"
