@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check race bench
+.PHONY: build test check race fuzz bench
 
 build:
 	go build ./...
@@ -8,12 +8,16 @@ build:
 test:
 	go test ./...
 
-# check = vet + race tests of the concurrency-heavy packages.
+# check = vet + race tests of the concurrency-heavy and numerical-core
+# packages + a short parser-fuzz smoke run.
 check:
 	./scripts/check.sh
 
 race:
 	go test -race ./...
+
+fuzz:
+	go test -fuzz=FuzzParseRDL -fuzztime=10s ./internal/rdl
 
 bench:
 	go test -bench . -benchtime 1s ./internal/bench/ .

@@ -7,6 +7,8 @@
 //	rmsbench -table 2            # Table 2, parallel speedup sweep
 //	rmsbench -table 2 -workers 8 # Table 2 with 8-wide per-rank pools
 //	rmsbench -parallel           # serial vs levelized-parallel RHS eval
+//	rmsbench -sparse             # dense vs sparse Jacobian build+factor
+//	rmsbench -sparse -variants 1000  # same, one custom system size
 //	rmsbench -ablate             # optimizer-pass ablation study
 //	rmsbench -sweep              # workload-redundancy sensitivity sweep
 package main
@@ -27,18 +29,19 @@ func main() {
 		ablate   = flag.Bool("ablate", false, "run the optimizer ablation study")
 		sweep    = flag.Bool("sweep", false, "run the workload-redundancy sensitivity sweep")
 		parallel = flag.Bool("parallel", false, "compare serial vs levelized-parallel tape evaluation")
+		sparse   = flag.Bool("sparse", false, "compare dense vs sparse Jacobian build + factorization")
 		workers  = flag.Int("workers", 0, "max worker-pool width (-parallel sweeps 2..workers, default 8; -table 2 pools each rank, default off)")
-		variants = flag.Int("variants", 0, "-parallel: system size (0 = largest scaled case)")
+		variants = flag.Int("variants", 0, "-parallel/-sparse: system size (0 = defaults)")
 		evalMs   = flag.Int("evalms", 300, "milliseconds of timing per configuration")
 	)
 	flag.Parse()
-	if err := run(*table, *full, *ablate, *sweep, *parallel, *workers, *variants, *evalMs); err != nil {
+	if err := run(*table, *full, *ablate, *sweep, *parallel, *sparse, *workers, *variants, *evalMs); err != nil {
 		fmt.Fprintln(os.Stderr, "rmsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, full, ablate, sweep, parallel bool, workers, variants, evalMs int) error {
+func run(table int, full, ablate, sweep, parallel, sparse bool, workers, variants, evalMs int) error {
 	did := false
 	if table == 1 {
 		did = true
@@ -85,6 +88,19 @@ func run(table int, full, ablate, sweep, parallel bool, workers, variants, evalM
 		}
 		fmt.Println("Levelized parallel tape evaluation vs the serial interpreter")
 		fmt.Print(bench.FormatParallel(rows))
+	}
+	if sparse {
+		did = true
+		cfg := bench.SparseConfig{}
+		if variants > 0 {
+			cfg.Variants = []int{variants}
+		}
+		rows, err := bench.SparseCompare(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Dense vs sparse analytical Jacobian: build + factorization of the Newton iteration matrix")
+		fmt.Print(bench.FormatSparse(rows))
 	}
 	if ablate {
 		did = true

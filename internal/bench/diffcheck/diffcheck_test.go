@@ -1,0 +1,171 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rms/internal/core"
+	"rms/internal/linalg"
+	"rms/internal/network"
+	"rms/internal/ode"
+	"rms/internal/opt"
+)
+
+// randomNetwork builds a random mass-action network: every species decays
+// into a random partner, and a handful of random bimolecular reactions
+// couple the rest. Rate constants are drawn from a small shared pool so
+// families share parameters, as real kinetic models do.
+func randomNetwork(t *testing.T, rng *rand.Rand, nSpecies int) *network.Network {
+	t.Helper()
+	net := network.New()
+	for i := 0; i < nSpecies; i++ {
+		name := fmt.Sprintf("S%d", i)
+		if _, err := net.AddSpecies(name, "", 0.2+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp := func(i int) string { return fmt.Sprintf("S%d", i) }
+	rate := func() string { return fmt.Sprintf("K_%d", 1+rng.Intn(5)) }
+	rxn := 0
+	add := func(consumed, produced []string) {
+		rxn++
+		if _, err := net.AddReaction(fmt.Sprintf("r%d", rxn), rate(), consumed, produced); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unimolecular decay keeps every diagonal entry structurally nonzero.
+	for i := 0; i < nSpecies; i++ {
+		add([]string{sp(i)}, []string{sp(rng.Intn(nSpecies))})
+	}
+	for i := 0; i < 2*nSpecies; i++ {
+		a, b, c := rng.Intn(nSpecies), rng.Intn(nSpecies), rng.Intn(nSpecies)
+		add([]string{sp(a), sp(b)}, []string{sp(c)})
+	}
+	return net
+}
+
+func compileRandom(t *testing.T, rng *rand.Rand, nSpecies int) (*core.Result, []float64) {
+	t.Helper()
+	net := randomNetwork(t, rng, nSpecies)
+	res, err := core.CompileNetwork(net, core.Config{
+		Optimize: opt.Full(), AnalyticJacobian: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := make([]float64, len(res.System.Rates))
+	for i := range k {
+		k[i] = 0.5 + 2*rng.Float64()
+	}
+	return res, k
+}
+
+// TestSparseJacobianMatchesFiniteDifference checks, across random
+// networks, that the compiled sparse Jacobian agrees with a central
+// finite difference of the compiled right-hand side on every structural
+// nonzero — and that positions outside the pattern differentiate to
+// exactly zero (mass-action rates are polynomial, so a central difference
+// of an independent variable is identically zero).
+func TestSparseJacobianMatchesFiniteDifference(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		res, k := compileRandom(t, rng, 8+rng.Intn(10))
+		n := len(res.System.Y0)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = 0.3 + rng.Float64()
+		}
+
+		jac := res.Jacobian
+		if jac == nil {
+			t.Fatal("no analytic Jacobian compiled")
+		}
+		csr := jac.PatternCSR()
+		jac.NewEvaluator().EvalCSR(y, k, csr)
+
+		ev := res.Tape.NewEvaluator()
+		fp := make([]float64, n)
+		fm := make([]float64, n)
+		yh := make([]float64, n)
+		for j := 0; j < n; j++ {
+			h := 1e-6 * math.Max(1, math.Abs(y[j]))
+			copy(yh, y)
+			yh[j] = y[j] + h
+			ev.Eval(yh, k, fp)
+			yh[j] = y[j] - h
+			ev.Eval(yh, k, fm)
+			for i := 0; i < n; i++ {
+				fd := (fp[i] - fm[i]) / (2 * h)
+				got := csr.At(i, j)
+				if csr.Index(i, j) < 0 {
+					// Structurally zero: f_i must not depend on y_j at all.
+					if fd != 0 {
+						t.Fatalf("seed %d: structural zero (%d,%d) has finite difference %g", seed, i, j, fd)
+					}
+					continue
+				}
+				tol := 1e-6 * (1 + math.Abs(fd))
+				if math.Abs(got-fd) > tol {
+					t.Fatalf("seed %d: J[%d,%d] = %g, finite difference %g", seed, i, j, got, fd)
+				}
+			}
+		}
+	}
+}
+
+// TestDenseAndSparseTrajectoriesAgree integrates random networks with the
+// stiff solver through both Newton paths — dense analytic Jacobian and
+// compiled sparse Jacobian with sparse LU — and demands the final states
+// agree to solver tolerance.
+func TestDenseAndSparseTrajectoriesAgree(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		res, k := compileRandom(t, rng, 10+rng.Intn(12))
+		n := len(res.System.Y0)
+		ev := res.Tape.NewEvaluator()
+		rhs := func(_ float64, y, dy []float64) { ev.Eval(y, k, dy) }
+		je := res.Jacobian.NewEvaluator()
+
+		base := ode.Options{
+			RTol: 1e-8, ATol: 1e-11,
+			Jacobian: func(_ float64, y []float64, dst *linalg.Matrix) {
+				je.Eval(y, k, dst)
+			},
+		}
+		yDense := append([]float64(nil), res.System.Y0...)
+		sd := ode.NewBDF(rhs, n, base)
+		if err := sd.Integrate(0, 1.0, yDense); err != nil {
+			t.Fatalf("seed %d dense: %v", seed, err)
+		}
+		if sd.Sparse() {
+			t.Fatalf("seed %d: dense-configured solver took the sparse path", seed)
+		}
+
+		sparse := base
+		sparse.SparsePattern = res.Jacobian.PatternCSR()
+		sparse.SparseJacobian = func(_ float64, y []float64, dst *linalg.CSR) {
+			je.EvalCSR(y, k, dst)
+		}
+		// Force the sparse path regardless of size/density: the property
+		// under test is equivalence, not the heuristic.
+		sparse.SparseMinDim = 2
+		sparse.SparseThreshold = 1
+		ySparse := append([]float64(nil), res.System.Y0...)
+		ss := ode.NewBDF(rhs, n, sparse)
+		if err := ss.Integrate(0, 1.0, ySparse); err != nil {
+			t.Fatalf("seed %d sparse: %v", seed, err)
+		}
+		if !ss.Sparse() {
+			t.Fatalf("seed %d: sparse-configured solver stayed dense", seed)
+		}
+
+		for i := range yDense {
+			tol := 1e-6 * (1 + math.Abs(yDense[i]))
+			if math.Abs(yDense[i]-ySparse[i]) > tol {
+				t.Fatalf("seed %d: y[%d] dense %g vs sparse %g", seed, i, yDense[i], ySparse[i])
+			}
+		}
+	}
+}

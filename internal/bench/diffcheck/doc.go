@@ -1,0 +1,8 @@
+// Package diffcheck is a differential-test harness for the sparse
+// analytical Jacobian pipeline: property tests generate random
+// mass-action networks, compile them, and demand that (a) the compiled
+// sparse Jacobian matches a finite-difference Jacobian entry by entry on
+// the structural pattern and is exactly zero elsewhere, and (b) the stiff
+// solver's dense and sparse Newton paths produce the same trajectories to
+// solver tolerance. The package contains only tests.
+package diffcheck

@@ -1,6 +1,8 @@
 package codegen
 
 import (
+	"sync"
+
 	"rms/internal/eqgen"
 	"rms/internal/linalg"
 	"rms/internal/opt"
@@ -21,6 +23,13 @@ type JacobianProgram struct {
 	Rows, Cols []int32
 	// N is the state dimension.
 	N int
+
+	// Lazily built canonical CSR layout (pattern plus full diagonal) and
+	// the Data offset of each compiled entry within it; shared by all
+	// evaluators (see PatternCSR, EvalCSR).
+	entryOnce sync.Once
+	proto     *linalg.CSR
+	entryPos  []int32
 }
 
 // CompileJacobian differentiates the system symbolically and compiles the

@@ -1,0 +1,116 @@
+package codegen
+
+import (
+	bitslib "math/bits"
+
+	"rms/internal/linalg"
+)
+
+// Sparsity derives the structural sparsity pattern of ∂f/∂y directly from
+// a compiled tape by propagating per-slot dependency bitsets through the
+// instruction stream: y slot i depends on {i}, constants and rate
+// constants on nothing, and every arithmetic result on the union of its
+// operands. The returned coordinate lists enumerate every (row, col) with
+// ∂(dy[row])/∂(y[col]) structurally nonzero, row-major sorted.
+//
+// This is the compile-time analysis the sparse Jacobian path rests on: it
+// needs only the tape (no symbolic system), so it also validates the
+// symbolically derived pattern in the differential tests.
+func Sparsity(p *Program) (rows, cols []int32) {
+	words := (p.NumY + 63) / 64
+	deps := make([]uint64, p.NumSlots*words)
+	yBase := len(p.Consts)
+	for i := 0; i < p.NumY; i++ {
+		slot := yBase + i
+		deps[slot*words+i/64] |= 1 << (i % 64)
+	}
+	propagate := func(code []Instr) {
+		for _, in := range code {
+			d := deps[int(in.Dst)*words : int(in.Dst)*words+words]
+			a := deps[int(in.A)*words : int(in.A)*words+words]
+			switch in.Op {
+			case OpNeg, OpMov:
+				copy(d, a)
+			default:
+				b := deps[int(in.B)*words : int(in.B)*words+words]
+				for w := 0; w < words; w++ {
+					d[w] = a[w] | b[w]
+				}
+			}
+		}
+	}
+	// The prelude depends only on rate constants, but propagating it too
+	// keeps the analysis correct even for hand-built tapes that break that
+	// convention.
+	propagate(p.Prelude)
+	propagate(p.Code)
+	for row, slot := range p.Out {
+		d := deps[int(slot)*words : int(slot)*words+words]
+		for w := 0; w < words; w++ {
+			bits := d[w]
+			for bits != 0 {
+				col := w*64 + bitslib.TrailingZeros64(bits)
+				rows = append(rows, int32(row))
+				cols = append(cols, int32(col))
+				bits &= bits - 1
+			}
+		}
+	}
+	return rows, cols
+}
+
+// Pattern returns the Jacobian's structural coordinate lists (copies).
+func (jp *JacobianProgram) Pattern() (rows, cols []int32) {
+	return append([]int32(nil), jp.Rows...), append([]int32(nil), jp.Cols...)
+}
+
+// Density returns the fraction of the dense n×n matrix that is
+// structurally nonzero — the quantity the stiff solver thresholds on when
+// choosing between the dense and sparse linear-algebra paths.
+func (jp *JacobianProgram) Density() float64 {
+	if jp.N == 0 {
+		return 0
+	}
+	return float64(len(jp.Rows)) / (float64(jp.N) * float64(jp.N))
+}
+
+// PatternCSR builds a zero-valued CSR matrix with the Jacobian's
+// structural pattern plus the full diagonal — the shape shared by J and
+// the solver's iteration matrix I − hβ·J, so one symbolic factorization
+// serves the whole integration. Each call returns a fresh matrix;
+// EvalCSR fills any of them.
+func (jp *JacobianProgram) PatternCSR() *linalg.CSR {
+	jp.entryOnce.Do(jp.buildEntryIndex)
+	return jp.proto.Clone()
+}
+
+// buildEntryIndex computes, once, the canonical CSR pattern and the Data
+// offset of every compiled entry within it.
+func (jp *JacobianProgram) buildEntryIndex() {
+	jp.proto = linalg.NewCSRPattern(jp.N, jp.Rows, jp.Cols, true)
+	jp.entryPos = make([]int32, len(jp.Rows))
+	for i := range jp.Rows {
+		p := jp.proto.Index(int(jp.Rows[i]), int(jp.Cols[i]))
+		if p < 0 {
+			panic("codegen: jacobian entry missing from its own CSR pattern")
+		}
+		jp.entryPos[i] = int32(p)
+	}
+}
+
+// EvalCSR computes J = ∂f/∂y at (y, k) into dst, which must have been
+// created by PatternCSR (same structural layout). Only the structurally
+// nonzero positions are written; diagonal positions absent from the
+// compiled pattern stay zero.
+func (je *JacEvaluator) EvalCSR(y, k []float64, dst *linalg.CSR) {
+	jp := je.jp
+	jp.entryOnce.Do(jp.buildEntryIndex)
+	if dst.N != jp.N || dst.NNZ() != jp.proto.NNZ() {
+		panic("codegen: EvalCSR destination does not match PatternCSR layout")
+	}
+	je.ev.EvalSlots(y, k)
+	dst.Zero()
+	for i, pos := range jp.entryPos {
+		dst.Data[pos] = je.ev.Slot(jp.Prog.Out[i])
+	}
+}

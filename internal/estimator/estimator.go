@@ -171,13 +171,12 @@ func (e *Estimator) calibrate() {
 }
 
 // workOps converts solver statistics into a deterministic work count (op
-// units): right-hand-side evaluations at the tape's cost plus the dense
-// Newton linear algebra.
+// units): right-hand-side evaluations at the tape's cost plus the Newton
+// linear algebra as the solver itself accounted it — dense ⅔n³/2n², or
+// the sparse pattern's actual multiply-add counts when the BDF ran the
+// sparse path (so the cost model reflects the asymptotic win).
 func (e *Estimator) workOps(st ode.Stats) float64 {
-	n := float64(e.model.Prog.NumY)
-	return float64(st.FEvals)*e.opsPerEval +
-		float64(st.Factorizations)*(2.0/3.0)*n*n*n +
-		float64(st.NewtonIters)*2*n*n
+	return float64(st.FEvals)*e.opsPerEval + st.FactorOps + st.SolveOps
 }
 
 // ResidualDim returns the global error vector's length: the maximum
@@ -324,6 +323,12 @@ func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dat
 			}
 			opts.Jacobian = func(_ float64, yy []float64, dst *linalg.Matrix) {
 				jacEv.Eval(yy, k, dst)
+			}
+			// Also offer the sparse path; the BDF solver picks it when the
+			// pattern density clears its threshold (SolverOpts tunes it).
+			opts.SparsePattern = e.model.AnalyticJac.PatternCSR()
+			opts.SparseJacobian = func(_ float64, yy []float64, dst *linalg.CSR) {
+				jacEv.EvalCSR(yy, k, dst)
 			}
 		}
 		solver = ode.NewBDF(rhs, n, opts)

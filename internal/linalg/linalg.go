@@ -131,11 +131,22 @@ func (m *Matrix) LU() (*LU, error) {
 
 // Solve returns x with A·x = b.
 func (f *LU) Solve(b []float64) ([]float64, error) {
-	n := f.lu.Rows
-	if len(b) != n {
-		return nil, fmt.Errorf("linalg: Solve rhs length %d, want %d", len(b), n)
+	x := make([]float64, f.lu.Rows)
+	if err := f.SolveTo(x, b); err != nil {
+		return nil, err
 	}
-	x := make([]float64, n)
+	return x, nil
+}
+
+// SolveTo solves A·x = b into dst without allocating — the form the BDF
+// Newton loop calls once per corrector iteration. dst must have length n
+// and may not alias b (the pivot permutation reads b out of order).
+func (f *LU) SolveTo(dst, b []float64) error {
+	n := f.lu.Rows
+	if len(b) != n || len(dst) != n {
+		return fmt.Errorf("linalg: SolveTo length %d/%d, want %d", len(dst), len(b), n)
+	}
+	x := dst
 	for i, p := range f.piv {
 		x[i] = b[p]
 	}
@@ -158,11 +169,11 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		d := a.At(i, i)
 		if d == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		x[i] = s / d
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant from the factorization.

@@ -1,0 +1,227 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSparseSystem builds a random diagonally dominant sparse matrix as
+// both coordinate lists and a filled CSR.
+func randSparseSystem(rng *rand.Rand, n, extraPerRow int) (*CSR, *Matrix) {
+	var rows, cols []int32
+	dense := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, int32(i))
+		cols = append(cols, int32(i))
+		for e := 0; e < extraPerRow; e++ {
+			j := rng.Intn(n)
+			rows = append(rows, int32(i))
+			cols = append(cols, int32(j))
+		}
+	}
+	m := NewCSRPattern(n, rows, cols, true)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if int(m.ColIdx[p]) == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			m.Data[p] = v
+			sum += math.Abs(v)
+		}
+		// Diagonal dominance keeps the pivot-free factorization stable.
+		d := sum + 1 + rng.Float64()
+		m.Data[m.Index(i, i)] = d
+	}
+	for i := 0; i < n; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			dense.Set(i, int(m.ColIdx[p]), m.Data[p])
+		}
+	}
+	return m, dense
+}
+
+func TestCSRPatternDedupAndIndex(t *testing.T) {
+	rows := []int32{0, 0, 1, 2, 0}
+	cols := []int32{2, 2, 0, 1, 1}
+	m := NewCSRPattern(3, rows, cols, true)
+	if m.NNZ() != 7 { // (0,1),(0,2),(0,0) + (1,0),(1,1) + (2,1),(2,2)
+		t.Fatalf("NNZ = %d, want 7", m.NNZ())
+	}
+	if m.Index(0, 2) < 0 || m.Index(1, 1) < 0 {
+		t.Fatal("expected structural entries missing")
+	}
+	if m.Index(2, 0) != -1 {
+		t.Fatal("(2,0) should be structurally zero")
+	}
+	for i := 0; i < 3; i++ {
+		for p := m.RowPtr[i] + 1; p < m.RowPtr[i+1]; p++ {
+			if m.ColIdx[p-1] >= m.ColIdx[p] {
+				t.Fatalf("row %d columns not strictly sorted", i)
+			}
+		}
+	}
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, dense := randSparseSystem(rng, 40, 4)
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, m.N)
+	want := make([]float64, m.N)
+	m.MulVec(x, got)
+	dense.MulVec(x, want)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSparseLUMatchesDenseSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(60)
+		m, dense := randSparseSystem(rng, n, 1+rng.Intn(4))
+		f, err := NewSparseLU(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Refactor(m); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		if err := f.SolveTo(x, b); err != nil {
+			t.Fatal(err)
+		}
+		dlu, err := dense.LU()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := dlu.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, x[i], want[i])
+			}
+		}
+		// Residual check: A·x ≈ b.
+		r := make([]float64, n)
+		m.MulVec(x, r)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-8 {
+				t.Fatalf("trial %d: residual[%d] = %g", trial, i, r[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestSparseLURefactorReusesPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := randSparseSystem(rng, 30, 3)
+	f, err := NewSparseLU(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FillNNZ() < m.NNZ() {
+		t.Fatalf("fill %d < pattern %d", f.FillNNZ(), m.NNZ())
+	}
+	if f.RefactorFlops() <= 0 || f.SolveFlops() <= 0 {
+		t.Fatal("flop counts must be positive")
+	}
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, m.N)
+	r := make([]float64, m.N)
+	// Re-fill the same pattern with new values twice; each refactor must
+	// produce a factorization solving the *current* values.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < m.N; i++ {
+			sum := 0.0
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				if int(m.ColIdx[p]) != i {
+					m.Data[p] = rng.NormFloat64()
+					sum += math.Abs(m.Data[p])
+				}
+			}
+			m.Data[m.Index(i, i)] = sum + 1
+		}
+		if err := f.Refactor(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SolveTo(x, b); err != nil {
+			t.Fatal(err)
+		}
+		m.MulVec(x, r)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-8 {
+				t.Fatalf("round %d: residual[%d] = %g", round, i, r[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestSparseLUSingular(t *testing.T) {
+	rows := []int32{0, 1}
+	cols := []int32{1, 0}
+	m := NewCSRPattern(2, rows, cols, true)
+	// Zero diagonal with no pivoting: row 0 pivot is 0.
+	m.Data[m.Index(0, 1)] = 1
+	m.Data[m.Index(1, 0)] = 1
+	f, err := NewSparseLU(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Refactor(m); err == nil {
+		t.Fatal("expected ErrSingular for zero pivot")
+	}
+}
+
+func TestLUSolveToMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 25
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			sum += math.Abs(v)
+		}
+		m.Set(i, i, sum+1)
+	}
+	f, err := m.LU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, n)
+	if err := f.SolveTo(dst, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("SolveTo[%d] = %g, Solve = %g", i, dst[i], want[i])
+		}
+	}
+}

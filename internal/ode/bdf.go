@@ -47,17 +47,30 @@ type BDF struct {
 	yOut        []float64 // y reported at tCur (continuation check)
 
 	// Newton workspace
-	jac      *linalg.Matrix // cached df/dy
-	jacFresh bool
-	lu       *linalg.LU
-	luH      float64 // h*beta the current factorization was built for
-	f0, f1   []float64
-	ypred    []float64
-	ycorr    []float64
-	rhsConst []float64
-	residual []float64
-	scratch  []float64
-	streak   int // consecutive accepted steps at the current order
+	jac        *linalg.Matrix // cached df/dy (dense path)
+	jacFresh   bool
+	lu         *linalg.LU
+	haveFactor bool    // a usable factorization (dense or sparse) exists
+	luH        float64 // h*beta the current factorization was built for
+	f0, f1     []float64
+	ypred      []float64
+	ycorr      []float64
+	rhsConst   []float64
+	residual   []float64
+	delta      []float64
+	scratch    []float64
+	streak     int // consecutive accepted steps at the current order
+
+	// Sparse Newton path (see Options.SparsePattern): cached sparse df/dy,
+	// the iteration matrix with the same layout, its diagonal offsets, and
+	// the sparse LU whose symbolic factorization is computed once.
+	sparse     bool
+	sparseInit bool
+	jacCSR     *linalg.CSR
+	mCSR       *linalg.CSR
+	mDiag      []int32
+	slu        *linalg.SparseLU
+	iterMat    *linalg.Matrix // dense iteration-matrix workspace, reused
 }
 
 // NewBDF returns an Adams-Gear solver for an n-dimensional system.
@@ -70,9 +83,46 @@ func NewBDF(f Func, n int, opts Options) *BDF {
 		ycorr:    make([]float64, n),
 		rhsConst: make([]float64, n),
 		residual: make([]float64, n),
+		delta:    make([]float64, n),
 		scratch:  make([]float64, n),
 	}
 }
+
+// initSparse decides once whether this integration uses the sparse Newton
+// path: a sparse Jacobian must be supplied, the pattern must match the
+// dimension and clear the density/size thresholds, and the symbolic
+// factorization must succeed. Any failure falls back to dense.
+func (s *BDF) initSparse(o Options) {
+	if s.sparseInit {
+		return
+	}
+	s.sparseInit = true
+	if o.SparseJacobian == nil || o.SparsePattern == nil {
+		return
+	}
+	pat := o.SparsePattern
+	if pat.N != s.n || s.n < o.SparseMinDim || o.SparseThreshold < 0 ||
+		pat.Density() > o.SparseThreshold {
+		return
+	}
+	slu, err := linalg.NewSparseLU(pat)
+	if err != nil {
+		return // pattern misses a diagonal: unusable without pivoting
+	}
+	s.jacCSR = pat.Clone()
+	s.mCSR = pat.Clone()
+	s.mDiag = make([]int32, s.n)
+	for i := 0; i < s.n; i++ {
+		s.mDiag[i] = int32(s.mCSR.Index(i, i))
+	}
+	s.slu = slu
+	s.sparse = true
+	s.stats.JacNNZ = pat.NNZ()
+	s.stats.FillNNZ = slu.FillNNZ()
+}
+
+// Sparse reports whether the solver runs the sparse Newton path.
+func (s *BDF) Sparse() bool { return s.sparse }
 
 // Stats returns cumulative work counters.
 func (s *BDF) Stats() Stats { return s.stats }
@@ -95,6 +145,7 @@ func (s *BDF) Integrate(t0, t1 float64, y []float64) error {
 		return nil
 	}
 	o := s.opts.withDefaults(t0, t1)
+	s.initSparse(o)
 	dir := 1.0
 	if t1 < t0 {
 		dir = -1
@@ -164,6 +215,7 @@ func (s *BDF) reset(t0 float64, y []float64, o Options, dir float64) {
 	s.tInt = t0
 	s.jacFresh = false
 	s.lu = nil
+	s.haveFactor = false
 	s.streak = 0
 	s.initialized = false
 }
@@ -300,7 +352,7 @@ func (s *BDF) newton(t, hb float64, o Options) (bool, error) {
 	copy(s.ycorr, s.ypred)
 	refreshed := false
 	for pass := 0; pass < 2; pass++ {
-		if s.lu == nil || s.luH != hb || (pass == 1 && !refreshed) {
+		if !s.haveFactor || s.luH != hb || (pass == 1 && !refreshed) {
 			if pass == 1 || !s.jacFresh {
 				if err := s.buildJacobian(t); err != nil {
 					return false, err
@@ -310,7 +362,7 @@ func (s *BDF) newton(t, hb float64, o Options) (bool, error) {
 			if err := s.factor(hb); err != nil {
 				// Singular iteration matrix: treat as Newton failure so the
 				// step size shrinks.
-				s.lu = nil
+				s.haveFactor = false
 				return false, nil
 			}
 		}
@@ -322,11 +374,11 @@ func (s *BDF) newton(t, hb float64, o Options) (bool, error) {
 			for i := range s.residual {
 				s.residual[i] = s.ycorr[i] - hb*s.f1[i] - s.rhsConst[i]
 			}
-			delta, err := s.lu.Solve(s.residual)
-			if err != nil {
-				s.lu = nil
+			if err := s.solveNewton(s.delta, s.residual); err != nil {
+				s.haveFactor = false
 				return false, nil
 			}
+			delta := s.delta
 			for i := range s.ycorr {
 				s.ycorr[i] -= delta[i]
 			}
@@ -350,13 +402,32 @@ func (s *BDF) newton(t, hb float64, o Options) (bool, error) {
 	return false, nil
 }
 
-// buildJacobian computes df/dy at (t, hist[0]) — analytically when the
-// caller supplied a Jacobian, by forward differences otherwise.
+// solveNewton solves the factored iteration matrix against b into dst,
+// in place on whichever path is active.
+func (s *BDF) solveNewton(dst, b []float64) error {
+	if s.sparse {
+		s.stats.SolveOps += float64(s.slu.SolveFlops())
+		return s.slu.SolveTo(dst, b)
+	}
+	n := float64(s.n)
+	s.stats.SolveOps += 2 * n * n
+	return s.lu.SolveTo(dst, b)
+}
+
+// buildJacobian computes df/dy at (t, hist[0]) — into CSR storage on the
+// sparse path, analytically when the caller supplied a dense Jacobian, by
+// forward differences otherwise.
 func (s *BDF) buildJacobian(t float64) error {
+	y := s.hist[0]
+	if s.sparse {
+		s.opts.SparseJacobian(t, y, s.jacCSR)
+		s.jacFresh = true
+		s.stats.JEvals++
+		return nil
+	}
 	if s.jac == nil {
 		s.jac = linalg.NewMatrix(s.n, s.n)
 	}
-	y := s.hist[0]
 	if s.opts.Jacobian != nil {
 		s.opts.Jacobian(t, y, s.jac)
 		s.jacFresh = true
@@ -383,9 +454,33 @@ func (s *BDF) buildJacobian(t float64) error {
 	return nil
 }
 
-// factor builds and factors the iteration matrix M = I - hb·J.
+// factor builds and factors the iteration matrix M = I - hb·J: a numeric
+// refactorization over the one-time symbolic pattern on the sparse path,
+// a dense LU with partial pivoting otherwise.
 func (s *BDF) factor(hb float64) error {
-	m := linalg.NewMatrix(s.n, s.n)
+	nf := float64(s.n)
+	if s.sparse {
+		md := s.mCSR.Data
+		for p, v := range s.jacCSR.Data {
+			md[p] = -hb * v
+		}
+		for _, d := range s.mDiag {
+			md[d]++
+		}
+		if err := s.slu.Refactor(s.mCSR); err != nil {
+			return err
+		}
+		s.luH = hb
+		s.haveFactor = true
+		s.stats.Factorizations++
+		s.stats.SparseFactorizations++
+		s.stats.FactorOps += float64(s.slu.RefactorFlops())
+		return nil
+	}
+	if s.iterMat == nil {
+		s.iterMat = linalg.NewMatrix(s.n, s.n)
+	}
+	m := s.iterMat
 	for i := 0; i < s.n; i++ {
 		for j := 0; j < s.n; j++ {
 			v := -hb * s.jac.At(i, j)
@@ -401,7 +496,9 @@ func (s *BDF) factor(hb float64) error {
 	}
 	s.lu = lu
 	s.luH = hb
+	s.haveFactor = true
 	s.stats.Factorizations++
+	s.stats.FactorOps += (2.0 / 3.0) * nf * nf * nf
 	return nil
 }
 

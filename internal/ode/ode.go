@@ -49,6 +49,23 @@ type Options struct {
 	// solver's Newton iteration in place of finite differences. dst is
 	// n×n and owned by the solver.
 	Jacobian func(t float64, y []float64, dst *linalg.Matrix)
+	// SparsePattern and SparseJacobian together enable the sparse Newton
+	// path: SparsePattern is the structural pattern of ∂f/∂y including
+	// the full diagonal (codegen.JacobianProgram.PatternCSR produces it),
+	// and SparseJacobian fills a matrix with that layout. The BDF solver
+	// switches to CSR storage and a sparse LU with one-time symbolic
+	// factorization when the pattern density is at most SparseThreshold
+	// and the dimension is at least SparseMinDim; otherwise it keeps the
+	// dense path (small systems and near-dense patterns gain nothing from
+	// sparsity).
+	SparsePattern  *linalg.CSR
+	SparseJacobian func(t float64, y []float64, dst *linalg.CSR)
+	// SparseThreshold is the maximum pattern density for the sparse path
+	// (default 0.2; negative disables the sparse path entirely).
+	SparseThreshold float64
+	// SparseMinDim is the minimum dimension for the sparse path
+	// (default 20).
+	SparseMinDim int
 }
 
 func (o Options) withDefaults(t0, t1 float64) Options {
@@ -71,6 +88,12 @@ func (o Options) withDefaults(t0, t1 float64) Options {
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 10_000_000
 	}
+	if o.SparseThreshold == 0 {
+		o.SparseThreshold = 0.2
+	}
+	if o.SparseMinDim == 0 {
+		o.SparseMinDim = 20
+	}
 	return o
 }
 
@@ -85,6 +108,17 @@ type Stats struct {
 	JEvals, Factorizations int
 	// NewtonIters counts corrector iterations (BDF only).
 	NewtonIters int
+	// SparseFactorizations counts the factorizations that ran on the
+	// sparse path (a subset of Factorizations).
+	SparseFactorizations int
+	// JacNNZ and FillNNZ report the sparse path's structural nonzero
+	// count and its L+U size including fill-in (0 on the dense path).
+	JacNNZ, FillNNZ int
+	// FactorOps and SolveOps accumulate the counted floating-point work
+	// of the Newton linear algebra — dense: ⅔n³ per factorization and
+	// 2n² per corrector solve; sparse: the pattern's actual multiply-add
+	// counts. The estimator's deterministic cost model reads these.
+	FactorOps, SolveOps float64
 }
 
 // ErrStepTooSmall reports step-size underflow (usually an unstable or

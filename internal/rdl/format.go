@@ -25,9 +25,28 @@ func Format(p *Program) string {
 	if len(p.Forbids) > 0 {
 		b.WriteByte('\n')
 		for _, f := range p.Forbids {
-			fmt.Fprintf(&b, "forbid %q\n", f)
+			fmt.Fprintf(&b, "forbid %s\n", quoteString(f))
 		}
 	}
+	return b.String()
+}
+
+// quoteString renders a string literal in RDL syntax, whose only escapes
+// are \" and \\ — any other byte except a newline stands for itself
+// (Go's %q would emit \xNN and \uNNNN escapes the RDL lexer rejects).
+// Newlines cannot appear: the lexer never produces them inside a string.
+func quoteString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '"' || c == '\\' {
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
 	return b.String()
 }
 
@@ -43,7 +62,7 @@ func formatSpecies(s *SpeciesDecl) string {
 		if i > 0 {
 			b.WriteString(" + ")
 		}
-		fmt.Fprintf(&b, "%q", part.Text)
+		b.WriteString(quoteString(part.Text))
 		if part.Rep != nil {
 			fmt.Fprintf(&b, "*%s", formatIntExpr(part.Rep, true))
 		}

@@ -1,0 +1,82 @@
+package rdl_test
+
+import (
+	"testing"
+
+	"rms/internal/rdl"
+	"rms/internal/vulcan"
+)
+
+// FuzzParseRDL throws arbitrary byte strings at the RDL front end. Parse
+// must return a value or an error, never panic; and anything it accepts
+// must survive a format → reparse round trip (the formatter emits
+// canonical RDL, so rejecting it would mean the two disagree about the
+// grammar).
+func FuzzParseRDL(f *testing.F) {
+	seeds := []string{
+		// The quickstart model (examples/quickstart, docs/rdl.md).
+		`
+species Bridge = "C[S:1][S:2]C" init 1.0
+species Methyl = "[CH3:3]"      init 0.5
+reaction Scission {
+    reactants Bridge
+    disconnect 1:1 1:2
+    rate K_sc
+}
+reaction Cap {
+    reactants Bridge, Methyl
+    disconnect 1:1 1:2
+    connect    1:1 2:3
+    rate K_cap
+}`,
+		// Ranged species, forall, require, rate families, forbid.
+		`
+# Sulfur crosslink chemistry, compact form.
+species Crosslink{n=2..8} = "C" + "S"*n + "C" init 0
+species Accel            = "CC[S:1][S:2]C"   init 1.0
+
+reaction Scission {
+    reactants Crosslink{n}
+    require   n >= 6
+    forall    i = 3 .. n-3
+    disconnect 1:S[i] 1:S[i+1]
+    rate K_sc(n)
+}
+
+forbid "S"
+`,
+		// Reversible reaction syntax.
+		`
+species A = "C" init 1
+species B = "N" init 0
+reaction Iso {
+    reactants A
+    produces  B
+    rate K_f reverse K_r
+}`,
+		// The full generated vulcanization model.
+		vulcan.RDLSource(4),
+		// Degenerate and malformed fragments.
+		"",
+		"species",
+		"reaction R {",
+		`species A = "C" init`,
+		"species A{n=8..2} = \"C\"*n init 0\n",
+		"reaction R { reactants A rate k }",
+		"\x00\xff{}[]..::",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := rdl.Parse(src)
+		if err != nil {
+			return
+		}
+		formatted := rdl.Format(prog)
+		if _, err := rdl.Parse(formatted); err != nil {
+			t.Fatalf("accepted program fails to reparse after Format: %v\noriginal:\n%s\nformatted:\n%s",
+				err, src, formatted)
+		}
+	})
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Repository checks: vet everything, then race-test the concurrency-heavy
-# packages (the simulated MPI runtime, the worker pool, and the parallel
-# estimator). Run from the repository root; the full serial test suite is
-# `go test ./...`.
+# Repository checks: vet everything, race-test the concurrency-heavy
+# packages (the simulated MPI runtime, the worker pool, the parallel
+# estimator) and the numerical core the sparse Jacobian path touches
+# (solver, linear algebra), then give the RDL parser fuzzer a short
+# smoke run. Run from the repository root; the full serial test suite
+# is `go test ./...`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,7 +12,11 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (mpi, parallel, estimator)"
-go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/...
+echo "== go test -race (mpi, parallel, estimator, ode, linalg)"
+go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/... \
+	./internal/ode/... ./internal/linalg/...
+
+echo "== fuzz smoke (FuzzParseRDL, 10s)"
+go test -fuzz=FuzzParseRDL -fuzztime=10s ./internal/rdl
 
 echo "ok"
