@@ -1,11 +1,12 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check race fuzz bench
+.PHONY: build test check race fuzz bench faults
 
 build:
 	go build ./...
 
 test:
+	go vet ./...
 	go test ./...
 
 # check = vet + race tests of the concurrency-heavy and numerical-core
@@ -18,6 +19,13 @@ race:
 
 fuzz:
 	go test -fuzz=FuzzParseRDL -fuzztime=10s ./internal/rdl
+
+# The deterministic fault-injection suite (docs/fault-tolerance.md)
+# under the race detector: solver retries, penalty fallbacks, rank
+# crash/stall recovery, watchdog diagnosis, optimizer NaN handling.
+faults:
+	go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stall|Crash|Abort' \
+		./internal/faults/... ./internal/mpi ./internal/estimator ./internal/nlopt
 
 bench:
 	go test -bench . -benchtime 1s ./internal/bench/ .

@@ -11,6 +11,8 @@
 //	rmsbench -sparse -variants 1000  # same, one custom system size
 //	rmsbench -ablate             # optimizer-pass ablation study
 //	rmsbench -sweep              # workload-redundancy sensitivity sweep
+//	rmsbench -faults             # recovery overhead under injected faults
+//	rmsbench -faults -rate 0.2   # same, with 20% transient solve failures
 package main
 
 import (
@@ -30,18 +32,20 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "run the workload-redundancy sensitivity sweep")
 		parallel = flag.Bool("parallel", false, "compare serial vs levelized-parallel tape evaluation")
 		sparse   = flag.Bool("sparse", false, "compare dense vs sparse Jacobian build + factorization")
+		faults   = flag.Bool("faults", false, "measure fault-tolerance recovery overhead under injected failures")
+		rate     = flag.Float64("rate", 0, "-faults: transient per-file-solve failure rate (0 = default 0.05)")
 		workers  = flag.Int("workers", 0, "max worker-pool width (-parallel sweeps 2..workers, default 8; -table 2 pools each rank, default off)")
 		variants = flag.Int("variants", 0, "-parallel/-sparse: system size (0 = defaults)")
 		evalMs   = flag.Int("evalms", 300, "milliseconds of timing per configuration")
 	)
 	flag.Parse()
-	if err := run(*table, *full, *ablate, *sweep, *parallel, *sparse, *workers, *variants, *evalMs); err != nil {
+	if err := run(*table, *full, *ablate, *sweep, *parallel, *sparse, *faults, *rate, *workers, *variants, *evalMs); err != nil {
 		fmt.Fprintln(os.Stderr, "rmsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, full, ablate, sweep, parallel, sparse bool, workers, variants, evalMs int) error {
+func run(table int, full, ablate, sweep, parallel, sparse, injectFaults bool, rate float64, workers, variants, evalMs int) error {
 	did := false
 	if table == 1 {
 		did = true
@@ -101,6 +105,19 @@ func run(table int, full, ablate, sweep, parallel, sparse bool, workers, variant
 		}
 		fmt.Println("Dense vs sparse analytical Jacobian: build + factorization of the Newton iteration matrix")
 		fmt.Print(bench.FormatSparse(rows))
+	}
+	if injectFaults {
+		did = true
+		cfg := bench.FaultsConfig{Rate: rate}
+		if variants > 0 {
+			cfg.Variants = variants
+		}
+		rows, err := bench.FaultTolerance(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fault-tolerance recovery overhead (parallel objective, injected failures)")
+		fmt.Print(bench.FormatFaults(rows))
 	}
 	if ablate {
 		did = true

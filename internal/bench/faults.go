@@ -1,0 +1,175 @@
+// Fault-tolerance overhead measurement: the same Table 2-style parallel
+// objective, run clean and under injected faults, reporting the modeled
+// extra solver work and the recovery interventions each failure mode
+// costs. This quantifies the price of the robustness machinery
+// (docs/fault-tolerance.md) the way Table 2 quantifies load balancing.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rms/internal/core"
+	"rms/internal/estimator"
+	"rms/internal/faults"
+	"rms/internal/ode"
+	"rms/internal/opt"
+	"rms/internal/vulcan"
+)
+
+// FaultsRow is one failure scenario's cost.
+type FaultsRow struct {
+	Scenario string
+	// ModeledOps is the deterministic solver-work total across the run's
+	// objective calls (critical path over ranks, as in Table 2).
+	ModeledOps float64
+	// OverheadPct is the modeled-ops overhead over the clean run.
+	OverheadPct float64
+	// WallSeconds is this host's wall-clock time, for reference.
+	WallSeconds float64
+	// Recovery counts the fault-tolerance interventions performed.
+	Recovery estimator.RecoveryStats
+}
+
+// FaultsConfig shapes the fault-tolerance overhead run.
+type FaultsConfig struct {
+	// Variants sizes the kinetic model (default 16).
+	Variants int
+	// Files and Records size the corpus (defaults 16 and 200).
+	Files   int
+	Records int
+	// Calls is the number of objective evaluations per scenario
+	// (default 4).
+	Calls int
+	// Ranks is the simulated node count (default 4).
+	Ranks int
+	// Rate is the per-file-solve transient failure probability of the
+	// flaky scenario (default 0.05).
+	Rate float64
+	// Seed drives the deterministic injection plans (default 1).
+	Seed int64
+}
+
+// FaultTolerance measures the parallel objective under four scenarios:
+// failure-free, transient per-file solver failures at the configured
+// rate, one rank crash, and one rank stall caught by the watchdog.
+func FaultTolerance(cfg FaultsConfig) ([]FaultsRow, error) {
+	if cfg.Variants == 0 {
+		cfg.Variants = 16
+	}
+	if cfg.Files == 0 {
+		cfg.Files = 16
+	}
+	if cfg.Records == 0 {
+		cfg.Records = 200
+	}
+	if cfg.Calls == 0 {
+		cfg.Calls = 4
+	}
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 4
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = 0.05
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	net, err := vulcan.Network(cfg.Variants)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.CompileNetwork(net, core.Config{Optimize: opt.Full()})
+	if err != nil {
+		return nil, err
+	}
+	k, err := vulcan.RateVector(res.System.Rates, vulcan.TrueRates)
+	if err != nil {
+		return nil, err
+	}
+	model := res.Model(vulcan.CrosslinkProperty(res.System), ode.Options{RTol: 1e-7, ATol: 1e-10})
+	files := syntheticFiles(cfg.Files, cfg.Records)
+
+	measure := func(scenario string, plan *faults.Plan, watchdog time.Duration) (FaultsRow, error) {
+		ecfg := estimator.Config{
+			Ranks: cfg.Ranks, LoadBalance: true,
+			FaultTolerant: true, Watchdog: watchdog,
+		}
+		if plan != nil {
+			ecfg.Faults = plan
+			ecfg.Hook = plan
+		}
+		est, err := estimator.New(model, files, ecfg)
+		if err != nil {
+			return FaultsRow{}, err
+		}
+		defer est.Close()
+		resid := make([]float64, est.ResidualDim())
+		for call := 0; call < cfg.Calls; call++ {
+			if err := est.Objective(k, resid); err != nil {
+				return FaultsRow{}, fmt.Errorf("%s: %w", scenario, err)
+			}
+		}
+		return FaultsRow{
+			Scenario:    scenario,
+			ModeledOps:  est.ModeledOps(),
+			WallSeconds: est.WallSeconds(),
+			Recovery:    est.Recovery(),
+		}, nil
+	}
+
+	scenarios := []struct {
+		name     string
+		plan     *faults.Plan
+		watchdog time.Duration
+	}{
+		{"clean", nil, 0},
+		{fmt.Sprintf("flaky solves (rate %g)", cfg.Rate),
+			faults.NewPlan(cfg.Seed).FailRate(cfg.Rate), 0},
+		// One rank dies at its third collective — during objective call 1,
+		// with call 0's balanced assignment already in place.
+		{"rank crash", faults.NewPlan(cfg.Seed).CrashRank(cfg.Ranks - 1, 2), 0},
+		// One rank wedges instead of dying; a short watchdog (generous
+		// against this benchmark's sub-second calls) converts the hang
+		// into a diagnosed failure and the survivors re-run.
+		{"rank stall + watchdog", faults.NewPlan(cfg.Seed).StallRank(cfg.Ranks - 1, 2),
+			500 * time.Millisecond},
+	}
+	var rows []FaultsRow
+	for _, sc := range scenarios {
+		row, err := measure(sc.name, sc.plan, sc.watchdog)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) > 0 {
+			base := rows[0].ModeledOps
+			row.OverheadPct = 100 * (row.ModeledOps - base) / base
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFaults renders the fault-tolerance overhead table.
+func FormatFaults(rows []FaultsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-14s %-10s %-9s %-28s"+NL,
+		"scenario", "modeled ops", "overhead", "wall", "recovery")
+	for _, r := range rows {
+		rec := r.Recovery
+		recCol := fmt.Sprintf("retry %d, penal %d, rank %d, wdog %d",
+			rec.Retries, rec.PenalizedFiles, rec.RankFailures, rec.WatchdogTrips)
+		ovCol := "-"
+		if r.Scenario != "clean" {
+			ovCol = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		fmt.Fprintf(&b, "%-26s %-14.3g %-10s %-9s %-28s"+NL,
+			r.Scenario, r.ModeledOps, ovCol,
+			fmt.Sprintf("%.2fs", r.WallSeconds), recCol)
+	}
+	b.WriteString("overhead = modeled solver ops vs the clean run; retries and re-runs on" + NL)
+	b.WriteString("shrunk communicators are counted work (see docs/fault-tolerance.md)" + NL)
+	return b.String()
+}

@@ -69,6 +69,26 @@ type Config struct {
 	// RHS and Jacobian tapes then fan out across the pool; results stay
 	// bit-identical to serial evaluation.
 	Workers int
+	// FaultTolerant enables graceful degradation (docs/fault-tolerance.md):
+	// failed file solves are retried per Retry and then penalized instead
+	// of aborting the fit, residual accumulation is guarded against
+	// NaN/Inf, and a crashed or stalled rank is recovered by reassigning
+	// its files to the survivors and re-running the call.
+	FaultTolerant bool
+	// Retry shapes the per-file retry/penalty policy (zero fields take
+	// defaults; only consulted when FaultTolerant).
+	Retry RetryPolicy
+	// Faults, when non-nil, injects deterministic per-file solve
+	// failures (package faults). Without FaultTolerant an injected
+	// failure surfaces as an objective error, like a real one.
+	Faults FaultInjector
+	// Hook passes through to the mpi runtime's collective-entry
+	// injection hook (package faults).
+	Hook mpi.Hook
+	// Watchdog arms the mpi hang watchdog for objective calls: a stuck
+	// collective is aborted and — when FaultTolerant — recovered. Zero
+	// disables it.
+	Watchdog time.Duration
 }
 
 // Estimator runs parallel objective evaluations and parameter fits.
@@ -84,6 +104,13 @@ type Estimator struct {
 	// pools[r] is rank r's worker pool for intra-rank parallel tape
 	// evaluation (nil without cfg.Workers).
 	pools []*parallel.Pool
+
+	// retry is cfg.Retry with defaults resolved.
+	retry RetryPolicy
+	// recovery counts fault-tolerance interventions (recMu guards it:
+	// ranks report retries and penalties concurrently).
+	recMu    sync.Mutex
+	recovery RecoveryStats
 
 	// Accumulated across objective calls:
 	calls       int
@@ -114,6 +141,7 @@ func New(model *Model, files []*dataset.File, cfg Config) (*Estimator, error) {
 		model:     model,
 		files:     files,
 		cfg:       cfg,
+		retry:     cfg.Retry.withDefaults(),
 		lastTimes: make([]float64, len(files)),
 	}
 	e.assignment = blockAssign(len(files), cfg.Ranks)
@@ -229,6 +257,13 @@ func (e *Estimator) Assignment() [][]int {
 // Objective evaluates the global error vector for one set of rate
 // constants, in parallel over the configured ranks. residual must have
 // length ResidualDim.
+//
+// Under Config.FaultTolerant, solver breakdowns degrade gracefully (a
+// retry/penalty policy per file, see RetryPolicy) and rank failures are
+// recovered ULFM-style: the dead ranks' files are reassigned to the
+// survivors via AssignLPT and the call re-runs on the shrunk
+// communicator. Recovery is per call — the next call sees the full rank
+// count again (the simulated runtime respawns ranks each call).
 func (e *Estimator) Objective(k []float64, residual []float64) error {
 	m := e.ResidualDim()
 	if len(residual) != m {
@@ -240,41 +275,36 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 	}
 	start := time.Now()
 	nf := len(e.files)
-	globalErr := make([]float64, m)
-	globalTime := make([]float64, nf)
-	var errMu sync.Mutex
-	var firstErr error
-
 	assignment := e.assignment
-	mpi.Run(e.cfg.Ranks, func(c *mpi.Comm) {
-		localErr := make([]float64, m)
-		localTime := make([]float64, nf)
-		ev := e.model.Prog.NewEvaluator()
-		var pool *parallel.Pool
-		if e.pools != nil {
-			pool = e.pools[c.Rank()]
-			ev.SetParallel(pool)
+	ranks := e.cfg.Ranks
+	var globalErr, globalTime []float64
+	for {
+		ge, gt, rep, solveErr := e.runCall(k, assignment, ranks, m, nf)
+		if solveErr != nil {
+			return solveErr
 		}
-		for _, fi := range assignment[c.Rank()] {
-			st, err := e.solveFile(ev, pool, e.files[fi], k, localErr)
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("estimator: file %s: %w", e.files[fi].Name, err)
-				}
-				errMu.Unlock()
-			}
-			localTime[fi] = e.workOps(st)
+		if rep.OK() {
+			globalErr, globalTime = ge, gt
+			break
 		}
-		ge := c.AllReduce(localErr, mpi.SumOp)
-		gt := c.AllReduce(localTime, mpi.SumOp)
-		if c.Rank() == 0 {
-			copy(globalErr, ge)
-			copy(globalTime, gt)
+		if !e.cfg.FaultTolerant {
+			return fmt.Errorf("estimator: parallel objective failed: %w", rep.Err())
 		}
-	})
-	if firstErr != nil {
-		return firstErr
+		dead := rep.Culprits()
+		if len(dead) == 0 || len(dead) >= ranks {
+			return fmt.Errorf("estimator: unrecoverable objective failure: %w", rep.Err())
+		}
+		e.recMu.Lock()
+		if rep.WatchdogFired {
+			e.recovery.WatchdogTrips++
+		}
+		e.recovery.RankFailures += len(dead)
+		e.recovery.RerunCalls++
+		e.recMu.Unlock()
+		// Shrink and retry: survivors cover every file; LPT over the
+		// last known per-file costs keeps the re-run balanced.
+		ranks -= len(dead)
+		assignment = AssignLPT(e.lastTimes, ranks)
 	}
 	copy(residual, globalErr)
 	copy(e.lastTimes, globalTime)
@@ -299,11 +329,79 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 	return nil
 }
 
+// runCall executes one parallel objective evaluation over the given
+// assignment and rank count, returning the reduced error vector, the
+// per-file work, the mpi report, and the first solver error (non-nil
+// only without FaultTolerant, which handles solves in-rank).
+func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) ([]float64, []float64, *mpi.RunReport, error) {
+	globalErr := make([]float64, m)
+	globalTime := make([]float64, nf)
+	var errMu sync.Mutex
+	var firstErr error
+	call := e.calls
+	cfg := mpi.RunConfig{Watchdog: e.cfg.Watchdog, Hook: e.cfg.Hook}
+	rep := mpi.RunErr(ranks, cfg, func(c *mpi.Comm) error {
+		localErr := make([]float64, m)
+		localTime := make([]float64, nf)
+		var scratch []float64
+		if e.cfg.FaultTolerant {
+			scratch = make([]float64, m)
+		}
+		ev := e.model.Prog.NewEvaluator()
+		var pool *parallel.Pool
+		if e.pools != nil {
+			pool = e.pools[c.Rank()]
+			ev.SetParallel(pool)
+		}
+		for _, fi := range assignment[c.Rank()] {
+			if e.cfg.FaultTolerant {
+				st, retries, penalized := e.solveFileFT(ev, pool, e.files[fi], k, scratch, localErr, call, c.Rank(), fi)
+				localTime[fi] = e.workOps(st)
+				if retries > 0 || penalized {
+					e.recMu.Lock()
+					e.recovery.Retries += retries
+					if penalized {
+						e.recovery.PenalizedFiles++
+					}
+					e.recMu.Unlock()
+				}
+				continue
+			}
+			var st ode.Stats
+			err := error(nil)
+			if e.cfg.Faults != nil {
+				err = e.cfg.Faults.FileSolve(call, c.Rank(), fi, 0)
+			}
+			if err == nil {
+				st, err = e.solveFile(ev, pool, e.files[fi], k, localErr, e.model.SolverOpts)
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("estimator: file %s: %w", e.files[fi].Name, err)
+				}
+				errMu.Unlock()
+			}
+			localTime[fi] = e.workOps(st)
+		}
+		ge := c.AllReduce(localErr, mpi.SumOp)
+		gt := c.AllReduce(localTime, mpi.SumOp)
+		if c.Rank() == 0 {
+			copy(globalErr, ge)
+			copy(globalTime, gt)
+		}
+		return nil
+	})
+	return globalErr, globalTime, rep, firstErr
+}
+
 // solveFile integrates the model across one file's time grid,
 // accumulating simulated-minus-observed into errvec (per Fig. 9's inner
-// loop: initialize the solver, then integrate record to record). It
-// returns the solver work statistics, the per-file cost measure.
-func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dataset.File, k []float64, errvec []float64) (ode.Stats, error) {
+// loop: initialize the solver, then integrate record to record). opts
+// are the solver options for this attempt (the retry policy tightens
+// them between attempts). It returns the solver work statistics, the
+// per-file cost measure.
+func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dataset.File, k []float64, errvec []float64, opts ode.Options) (ode.Stats, error) {
 	n := e.model.Prog.NumY
 	y := make([]float64, n)
 	copy(y, e.model.Y0)
@@ -315,7 +413,6 @@ func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dat
 		Stats() ode.Stats
 	}
 	if e.model.Stiff {
-		opts := e.model.SolverOpts
 		if e.model.AnalyticJac != nil {
 			jacEv := e.model.AnalyticJac.NewEvaluator()
 			if pool != nil {
@@ -333,7 +430,7 @@ func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dat
 		}
 		solver = ode.NewBDF(rhs, n, opts)
 	} else {
-		solver = ode.NewRKV65(rhs, n, e.model.SolverOpts)
+		solver = ode.NewRKV65(rhs, n, opts)
 	}
 	errf := e.model.ErrorFunc
 	if errf == nil {

@@ -1,0 +1,222 @@
+// Fault tolerance for the parallel objective: per-file solver retry and
+// penalty policies, NaN/Inf guards on residual accumulation, and the
+// ULFM-style shrink-and-retry recovery from rank failures. LM trial
+// points routinely drive the stiff solver into step underflow; treating
+// those breakdowns (and rank deaths) as expected, recoverable events —
+// the posture of production chemistry-LB systems such as DLBFoam —
+// keeps one bad trial point or one lost worker from aborting a fit.
+
+package estimator
+
+import (
+	"errors"
+	"math"
+
+	"rms/internal/codegen"
+	"rms/internal/dataset"
+	"rms/internal/ode"
+	"rms/internal/parallel"
+)
+
+// FaultInjector is the estimator's injection seam (package faults
+// implements it): it is consulted before attempt number `attempt`
+// (0-based) of solving file `file` during objective call `call` on rank
+// `rank`, and a non-nil return is treated exactly like the solver
+// failing with that error. Implementations must be safe for concurrent
+// use by all ranks.
+type FaultInjector interface {
+	FileSolve(call, rank, file, attempt int) error
+}
+
+// RetryPolicy shapes the per-file graceful-degradation policy of a
+// fault-tolerant estimator. Zero fields take the documented defaults.
+type RetryPolicy struct {
+	// MaxAttempts bounds solve attempts per file per objective call,
+	// including the first (default 3).
+	MaxAttempts int
+	// TolTighten multiplies RTol and ATol on each retry (default 0.1):
+	// at extreme trial parameters a loosely-resolved trajectory drifts
+	// off the slow manifold and blows up; tighter tolerances keep the
+	// BDF corrector on it.
+	TolTighten float64
+	// StepShrink multiplies the initial step on each retry (default
+	// 0.25), so a retry does not re-enter the transient with the same
+	// too-optimistic first step that failed.
+	StepShrink float64
+	// Penalty is the residual contribution assigned to every record of
+	// a file whose solve never succeeded (default 1e6) — large enough
+	// that LM rejects the trial step and grows its damping, finite so
+	// the normal equations stay well-defined.
+	Penalty float64
+	// MaxSteps caps solver steps per attempt (default 500000), the work
+	// budget that keeps a pathological trial point from hanging a rank;
+	// a tighter Options.MaxSteps in the model wins.
+	MaxSteps int
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.TolTighten == 0 {
+		p.TolTighten = 0.1
+	}
+	if p.StepShrink == 0 {
+		p.StepShrink = 0.25
+	}
+	if p.Penalty == 0 {
+		p.Penalty = 1e6
+	}
+	if p.MaxSteps == 0 {
+		p.MaxSteps = 500_000
+	}
+	return p
+}
+
+// RecoveryStats counts the fault-tolerance machinery's interventions,
+// accumulated across objective calls. Counts include work performed on
+// runs that were later abandoned to a rank failure — they measure
+// recovery overhead actually spent.
+type RecoveryStats struct {
+	// Retries counts solve attempts beyond each file's first.
+	Retries int
+	// PenalizedFiles counts file solves that exhausted their attempts
+	// and fell back to the penalty residual.
+	PenalizedFiles int
+	// RankFailures counts ranks lost and recovered by reassignment.
+	RankFailures int
+	// WatchdogTrips counts objective calls aborted by the mpi hang
+	// watchdog and recovered.
+	WatchdogTrips int
+	// RerunCalls counts objective calls re-executed on a shrunk
+	// communicator after losing ranks.
+	RerunCalls int
+}
+
+// Recovery returns the accumulated fault-recovery statistics.
+func (e *Estimator) Recovery() RecoveryStats {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	return e.recovery
+}
+
+// errNonFinite flags a solve whose residual contribution contains NaN or
+// Inf — numerically as useless as a solver abort, and handled the same.
+var errNonFinite = errors.New("estimator: non-finite residual contribution")
+
+// retryable reports whether a solve failure is worth retrying at
+// tightened tolerances: the solver's breakdown sentinels and non-finite
+// output qualify; anything else (a structural error) goes straight to
+// the penalty.
+func retryable(err error) bool {
+	return errors.Is(err, ode.ErrStepTooSmall) ||
+		errors.Is(err, ode.ErrTooManySteps) ||
+		errors.Is(err, errNonFinite)
+}
+
+func finite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// retryOpts derives attempt-specific solver options: attempt 0 is the
+// model's own options under the per-attempt step budget; each retry
+// tightens the tolerances and shrinks the initial step per the policy.
+func (e *Estimator) retryOpts(f *dataset.File, attempt int) ode.Options {
+	opts := e.model.SolverOpts
+	pol := e.retry
+	if opts.MaxSteps == 0 || opts.MaxSteps > pol.MaxSteps {
+		opts.MaxSteps = pol.MaxSteps
+	}
+	if attempt == 0 {
+		return opts
+	}
+	tighten := math.Pow(pol.TolTighten, float64(attempt))
+	rtol, atol := opts.RTol, opts.ATol
+	if rtol == 0 {
+		rtol = 1e-6
+	}
+	if atol == 0 {
+		atol = 1e-9
+	}
+	opts.RTol = math.Max(rtol*tighten, 1e-14)
+	opts.ATol = math.Max(atol*tighten, 1e-15)
+	base := opts.InitialStep
+	if base == 0 {
+		span := 0.0
+		if n := f.NumRecords(); n > 0 {
+			span = f.Records[n-1].T
+		}
+		if span > 0 {
+			base = span / 100
+		} else {
+			base = 1e-3
+		}
+	}
+	opts.InitialStep = base * math.Pow(pol.StepShrink, float64(attempt))
+	return opts
+}
+
+// solveFileFT is solveFile under the retry/penalty policy. Each attempt
+// integrates into scratch (so a half-failed attempt contributes
+// nothing); success folds scratch into errvec, and exhausted or
+// non-retryable failures fold in the penalty instead. It returns the
+// accumulated solver work across attempts, the number of retries
+// performed, and whether the file ended penalized.
+func (e *Estimator) solveFileFT(ev *codegen.Evaluator, pool *parallel.Pool, f *dataset.File, k []float64, scratch, errvec []float64, call, rank, fi int) (total ode.Stats, retries int, penalized bool) {
+	pol := e.retry
+	nr := f.NumRecords()
+	for attempt := 0; ; attempt++ {
+		var err error
+		if e.cfg.Faults != nil {
+			err = e.cfg.Faults.FileSolve(call, rank, fi, attempt)
+		}
+		if err == nil {
+			for i := 0; i < nr; i++ {
+				scratch[i] = 0
+			}
+			var st ode.Stats
+			st, err = e.solveFile(ev, pool, f, k, scratch, e.retryOpts(f, attempt))
+			addStats(&total, st)
+			if err == nil && !finite(scratch[:nr]) {
+				err = errNonFinite
+			}
+		}
+		if err == nil {
+			for i := 0; i < nr; i++ {
+				errvec[i] += scratch[i]
+			}
+			return total, attempt, false
+		}
+		if attempt+1 >= pol.MaxAttempts || !retryable(err) {
+			for i := 0; i < nr; i++ {
+				errvec[i] += pol.Penalty
+			}
+			return total, attempt, true
+		}
+	}
+}
+
+// addStats accumulates solver work across retry attempts (the structural
+// sparsity sizes are per-solve, not additive — keep the largest).
+func addStats(dst *ode.Stats, st ode.Stats) {
+	dst.Steps += st.Steps
+	dst.Rejected += st.Rejected
+	dst.FEvals += st.FEvals
+	dst.JEvals += st.JEvals
+	dst.Factorizations += st.Factorizations
+	dst.NewtonIters += st.NewtonIters
+	dst.SparseFactorizations += st.SparseFactorizations
+	dst.FactorOps += st.FactorOps
+	dst.SolveOps += st.SolveOps
+	if st.JacNNZ > dst.JacNNZ {
+		dst.JacNNZ = st.JacNNZ
+	}
+	if st.FillNNZ > dst.FillNNZ {
+		dst.FillNNZ = st.FillNNZ
+	}
+}

@@ -10,17 +10,185 @@
 // ranks share a machine, so speedups are reported both as wall time and
 // as modeled parallel time (the per-rank critical path), the quantity
 // Table 2 measures on hardware where every rank really owns a CPU.
+//
+// Two entry points start a communicator. Run keeps the classic MPI
+// posture: any rank failure aborts the job and re-raises the panic.
+// RunErr is the fault-tolerant path: rank functions return errors, rank
+// panics are captured instead of re-raised, and the caller receives a
+// per-rank RunReport it can use to recover (the estimator's
+// shrink-and-retry protocol). Both accept a configurable watchdog that
+// converts a stuck collective — a deadlocked communicator — into a
+// diagnosed error with a per-rank state dump instead of a hang, and a
+// Hook consulted at every collective entry, the seam deterministic fault
+// injection (package faults) plugs into.
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// DefaultWatchdog is the hang-protection window used by Run (RunErr uses
+// exactly what its RunConfig says; zero disables). The watchdog only
+// fires on provable deadlock — every live rank blocked inside the
+// runtime with no progress for a full window — so the default can stay
+// generous without risking false positives on slow computation.
+var DefaultWatchdog = 2 * time.Minute
+
+// HookAction is a Hook's verdict on a rank entering a collective.
+type HookAction int
+
+const (
+	// ActProceed lets the collective run normally.
+	ActProceed HookAction = iota
+	// ActCrash makes the rank panic at the collective entry, simulating
+	// a process death mid-protocol.
+	ActCrash
+	// ActStall blocks the rank forever (until the communicator dies),
+	// simulating a wedged process — the deadlock the watchdog exists to
+	// diagnose.
+	ActStall
+)
+
+// Hook intercepts ranks at collective entry. AtCollective is invoked by
+// each rank as it enters its seq-th collective (0-based, counted per
+// rank within one Run/RunErr); implementations must be safe for
+// concurrent use by all ranks.
+type Hook interface {
+	AtCollective(rank, seq int) HookAction
+}
+
+// RunConfig tunes a communicator's fault-tolerance machinery.
+type RunConfig struct {
+	// Watchdog, when positive, bounds how long the communicator may sit
+	// with every live rank blocked inside the runtime and no progress.
+	// When exceeded, the watchdog snapshots per-rank states, aborts the
+	// communicator, and the report carries WatchdogFired plus the dump.
+	// Zero disables the watchdog.
+	Watchdog time.Duration
+	// Hook, when non-nil, is consulted at every collective entry (fault
+	// injection; see package faults).
+	Hook Hook
+}
+
+// RankState is one rank's state in a RunReport: the live snapshot taken
+// when the watchdog fired, or the final state otherwise.
+type RankState struct {
+	Rank int
+	// Phase describes what the rank was doing ("running", "AllReduce #3",
+	// "stalled before Barrier #0 (injected)", ...).
+	Phase string
+	// Waiting reports the rank was blocked inside a runtime primitive.
+	Waiting bool
+	// Stalled reports an injected stall (Hook returned ActStall).
+	Stalled bool
+	// Done reports the rank's function had returned or panicked.
+	Done bool
+	// Collectives counts the collectives the rank completed.
+	Collectives int
+}
+
+// RunReport is RunErr's per-rank outcome.
+type RunReport struct {
+	// Size is the communicator size.
+	Size int
+	// Errs has one entry per rank; nil means the rank returned cleanly.
+	// Ranks that merely aborted in sympathy with a failed peer carry
+	// errors matching ErrAborted (or ErrWatchdog after a watchdog trip).
+	Errs []error
+	// WatchdogFired reports the watchdog aborted a stuck communicator.
+	WatchdogFired bool
+	// States is the per-rank state dump: the deadlock snapshot when the
+	// watchdog fired, the final states otherwise.
+	States []RankState
+}
+
+// OK reports a fully clean run.
+func (r *RunReport) OK() bool {
+	for _, e := range r.Errs {
+		if e != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Culprits returns the ranks responsible for a failure: ranks whose
+// error is primary (a panic, an Abort call, an injected crash or stall)
+// rather than a sympathetic ErrAborted/ErrWatchdog release. Recovery
+// protocols treat these ranks as dead and redistribute their work.
+func (r *RunReport) Culprits() []int {
+	var out []int
+	for rank, e := range r.Errs {
+		if e == nil || errors.Is(e, ErrAborted) || errors.Is(e, ErrWatchdog) {
+			continue
+		}
+		out = append(out, rank)
+	}
+	return out
+}
+
+// Err returns the most diagnostic single error of the run: the first
+// culprit's error, else the first error of any kind, else nil.
+func (r *RunReport) Err() error {
+	if c := r.Culprits(); len(c) > 0 {
+		return r.Errs[c[0]]
+	}
+	for _, e := range r.Errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// DumpString renders the per-rank state dump, one rank per line — the
+// diagnostic attached to watchdog aborts.
+func (r *RunReport) DumpString() string {
+	var b []byte
+	for _, st := range r.States {
+		b = fmt.Appendf(b, "rank %d: %s (collectives done %d)\n",
+			st.Rank, st.Phase, st.Collectives)
+	}
+	return string(b)
+}
+
+// ErrAborted marks the sympathetic errors on ranks released from a
+// blocking call after a peer died (an MPI job with a dead rank aborts
+// the communicator).
+var ErrAborted = errors.New("mpi: communicator aborted (peer rank died)")
+
+// ErrWatchdog marks the errors on ranks released by the hang watchdog.
+var ErrWatchdog = errors.New("mpi: watchdog: stuck collective aborted")
+
+// RankError is the primary error recorded for a rank whose function
+// panicked.
+type RankError struct {
+	Rank int
+	// Val is the original panic value.
+	Val any
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Val)
+}
 
 // Comm is one rank's handle on the communicator.
 type Comm struct {
 	rank  int
 	world *world
+}
+
+type rankState struct {
+	mu          sync.Mutex
+	phase       string
+	waiting     bool
+	stalled     bool
+	done        bool
+	collectives int
 }
 
 type world struct {
@@ -30,27 +198,73 @@ type world struct {
 	// collective plumbing: every rank sends to rank 0, rank 0 answers.
 	up   []chan any
 	down []chan any
-	// dead closes when any rank panics, releasing peers blocked in
-	// collectives (an MPI job with a dead rank aborts the communicator).
+	// dead closes when any rank panics (or the watchdog fires),
+	// releasing peers blocked in runtime primitives.
 	dead     chan struct{}
 	deadOnce sync.Once
+
+	hook Hook
+	// activity counts runtime events (blocking-point entries/exits,
+	// message transfers); the watchdog watches it for progress.
+	activity      atomic.Int64
+	states        []*rankState
+	watchdogFired atomic.Bool
+	dumpMu        sync.Mutex
+	dump          []RankState
 }
 
 // abortError marks the secondary panics raised on ranks released from a
-// collective after a peer died; Run reports the original panic instead.
+// blocking call after a peer died; reports carry ErrAborted/ErrWatchdog
+// for them instead.
 type abortError struct{}
 
 func (abortError) Error() string { return "mpi: communicator aborted (peer rank died)" }
 
+// stallError unwinds a rank whose injected stall ended with the
+// communicator's death.
+type stallError struct{ seq int }
+
+// abortCall unwinds a rank that called Comm.Abort.
+type abortCall struct{ reason string }
+
 // Run starts a communicator of the given size and invokes fn once per
 // rank, each on its own goroutine, then waits for all ranks to return. A
-// panic on any rank is re-raised by Run after all ranks finish or hang
-// protection triggers.
+// panic on any rank is re-raised by Run after all ranks finish, and hang
+// protection (a DefaultWatchdog-sized watchdog) converts a deadlocked
+// communicator into a panic carrying the per-rank state dump. Callers
+// that want to recover instead of crash use RunErr.
 func Run(size int, fn func(c *Comm)) {
+	rep := RunErr(size, RunConfig{Watchdog: DefaultWatchdog}, func(c *Comm) error {
+		fn(c)
+		return nil
+	})
+	// Report the original failure, not the secondary communicator aborts
+	// it triggered on innocent ranks.
+	for _, rank := range rep.Culprits() {
+		if re, ok := rep.Errs[rank].(*RankError); ok {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", re.Rank, re.Val))
+		}
+		panic(rep.Errs[rank].Error())
+	}
+	if rep.WatchdogFired {
+		panic(fmt.Sprintf("%v\n%s", ErrWatchdog, rep.DumpString()))
+	}
+	if err := rep.Err(); err != nil {
+		panic(fmt.Sprintf("mpi: rank failed: %v", err))
+	}
+}
+
+// RunErr starts a communicator of the given size and invokes fn once per
+// rank, each on its own goroutine, then waits for all ranks to return
+// and reports per-rank outcomes instead of panicking. A rank panic
+// aborts the communicator (peers blocked in collectives or
+// point-to-point calls unwind with ErrAborted) and surfaces as a
+// RankError for that rank; cfg arms the watchdog and the injection hook.
+func RunErr(size int, cfg RunConfig, fn func(c *Comm) error) *RunReport {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: invalid communicator size %d", size))
 	}
-	w := &world{size: size}
+	w := &world{size: size, hook: cfg.Hook}
 	w.ch = make([][]chan any, size)
 	for i := range w.ch {
 		w.ch[i] = make([]chan any, size)
@@ -60,45 +274,165 @@ func Run(size int, fn func(c *Comm)) {
 	}
 	w.up = make([]chan any, size)
 	w.down = make([]chan any, size)
+	w.states = make([]*rankState, size)
 	for i := 0; i < size; i++ {
 		w.up[i] = make(chan any, 1)
 		w.down[i] = make(chan any, 1)
+		w.states[i] = &rankState{phase: "running"}
 	}
 	w.dead = make(chan struct{})
+
+	stop := make(chan struct{})
+	if cfg.Watchdog > 0 {
+		go w.watchdog(cfg.Watchdog, stop)
+	}
+
 	var wg sync.WaitGroup
-	panics := make([]any, size)
+	errs := make([]error, size)
 	for r := 0; r < size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if p := recover(); p != nil {
-					panics[rank] = p
-					// Unblock peers waiting in collectives.
+				p := recover()
+				st := w.states[rank]
+				st.mu.Lock()
+				st.done = true
+				st.waiting = false
+				switch {
+				case p != nil:
+					st.phase = "failed"
+				default:
+					st.phase = "done"
+				}
+				st.mu.Unlock()
+				w.activity.Add(1)
+				switch v := p.(type) {
+				case nil:
+				case abortError:
+					if w.watchdogFired.Load() {
+						errs[rank] = fmt.Errorf("%w (rank %d released)", ErrWatchdog, rank)
+					} else {
+						errs[rank] = fmt.Errorf("%w (rank %d released)", ErrAborted, rank)
+					}
+				case stallError:
+					errs[rank] = fmt.Errorf("mpi: rank %d stalled at collective %d (injected fault)", rank, v.seq)
+				case abortCall:
+					errs[rank] = fmt.Errorf("mpi: rank %d called Abort: %s", rank, v.reason)
+				default:
+					errs[rank] = &RankError{Rank: rank, Val: p}
+					// Unblock peers waiting in runtime primitives.
 					w.deadOnce.Do(func() { close(w.dead) })
 				}
 			}()
-			fn(&Comm{rank: rank, world: w})
+			errs[rank] = fn(&Comm{rank: rank, world: w})
 		}(r)
 	}
 	wg.Wait()
-	// Report the original failure, not the secondary communicator aborts
-	// it triggered on innocent ranks.
-	reportRank, reportPanic := -1, any(nil)
-	for r, p := range panics {
-		if p == nil {
+	close(stop)
+
+	rep := &RunReport{Size: size, Errs: errs, WatchdogFired: w.watchdogFired.Load()}
+	w.dumpMu.Lock()
+	if w.dump != nil {
+		rep.States = w.dump
+	}
+	w.dumpMu.Unlock()
+	if rep.States == nil {
+		rep.States = w.snapshot()
+	}
+	return rep
+}
+
+// watchdog aborts the communicator when every live rank has been blocked
+// inside a runtime primitive with no progress for a full window — a
+// state nothing internal can ever change, i.e. a deadlock. Ranks wedged
+// in user code are indistinguishable from slow computation and are not
+// flagged; the all-blocked rule keeps false positives impossible.
+func (w *world) watchdog(limit time.Duration, stop chan struct{}) {
+	tick := limit / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	last := w.activity.Load()
+	lastChange := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-w.dead:
+			return
+		case <-t.C:
+		}
+		if a := w.activity.Load(); a != last {
+			last, lastChange = a, time.Now()
 			continue
 		}
-		if _, secondary := p.(abortError); !secondary {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		if time.Since(lastChange) < limit || !w.deadlocked() {
+			continue
 		}
-		if reportRank < 0 {
-			reportRank, reportPanic = r, p
+		w.dumpMu.Lock()
+		w.dump = w.snapshot()
+		w.dumpMu.Unlock()
+		w.watchdogFired.Store(true)
+		w.deadOnce.Do(func() { close(w.dead) })
+		return
+	}
+}
+
+// deadlocked reports whether at least one rank is blocked and no live
+// rank is outside a blocking point (where it could still make progress).
+func (w *world) deadlocked() bool {
+	any := false
+	for _, st := range w.states {
+		st.mu.Lock()
+		waiting, done := st.waiting, st.done
+		st.mu.Unlock()
+		if done {
+			continue
 		}
+		if !waiting {
+			return false
+		}
+		any = true
 	}
-	if reportRank >= 0 {
-		panic(fmt.Sprintf("mpi: rank %d panicked: %v", reportRank, reportPanic))
+	return any
+}
+
+func (w *world) snapshot() []RankState {
+	out := make([]RankState, w.size)
+	for r, st := range w.states {
+		st.mu.Lock()
+		out[r] = RankState{
+			Rank:        r,
+			Phase:       st.phase,
+			Waiting:     st.waiting,
+			Stalled:     st.stalled,
+			Done:        st.done,
+			Collectives: st.collectives,
+		}
+		st.mu.Unlock()
 	}
+	return out
+}
+
+func (w *world) enterWait(rank int, phase string) {
+	st := w.states[rank]
+	st.mu.Lock()
+	st.phase = phase
+	st.waiting = true
+	st.mu.Unlock()
+	w.activity.Add(1)
+}
+
+func (w *world) leaveWait(rank int) {
+	st := w.states[rank]
+	st.mu.Lock()
+	st.phase = "running"
+	st.waiting = false
+	st.mu.Unlock()
+	w.activity.Add(1)
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -107,13 +441,32 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.world.size }
 
+// Abort kills the communicator: peers blocked in collectives or
+// point-to-point calls unwind with ErrAborted, and the calling rank
+// unwinds immediately, surfacing the reason in its report entry — the
+// analogue of MPI_Abort. Only meaningful under RunErr; under Run it
+// behaves like a rank panic.
+func (c *Comm) Abort(reason string) {
+	c.world.deadOnce.Do(func() { close(c.world.dead) })
+	panic(abortCall{reason: reason})
+}
+
 // Send delivers data to the given rank (buffered, non-blocking up to the
 // channel capacity). Like the collectives, a Send blocked on a full
 // buffer aborts when a peer rank dies instead of hanging.
 func (c *Comm) Send(to int, data any) {
+	w := c.world
 	select {
-	case c.world.ch[c.rank][to] <- data:
-	case <-c.world.dead:
+	case w.ch[c.rank][to] <- data:
+		w.activity.Add(1)
+		return
+	default:
+	}
+	w.enterWait(c.rank, fmt.Sprintf("Send(to=%d)", to))
+	select {
+	case w.ch[c.rank][to] <- data:
+		w.leaveWait(c.rank)
+	case <-w.dead:
 		panic(abortError{})
 	}
 }
@@ -123,26 +476,52 @@ func (c *Comm) Send(to int, data any) {
 // instead of blocking forever; messages already buffered before the
 // death still drain in order.
 func (c *Comm) Recv(from int) any {
+	w := c.world
 	// Prefer buffered messages over the abort signal so an in-flight
 	// message from a since-dead peer is not lost.
 	select {
-	case v := <-c.world.ch[from][c.rank]:
+	case v := <-w.ch[from][c.rank]:
+		w.activity.Add(1)
 		return v
 	default:
 	}
+	w.enterWait(c.rank, fmt.Sprintf("Recv(from=%d)", from))
 	select {
-	case v := <-c.world.ch[from][c.rank]:
+	case v := <-w.ch[from][c.rank]:
+		w.leaveWait(c.rank)
 		return v
-	case <-c.world.dead:
+	case <-w.dead:
 		panic(abortError{})
 	}
 }
 
 // collect gathers one value per rank at rank 0, applies f there, and
 // distributes the result to every rank. It is the engine behind the
-// collectives and must be called by all ranks.
-func (c *Comm) collect(local any, f func(all []any) any) any {
+// collectives and must be called by all ranks. name labels the
+// collective in state dumps.
+func (c *Comm) collect(name string, local any, f func(all []any) any) any {
 	w := c.world
+	st := w.states[c.rank]
+	st.mu.Lock()
+	seq := st.collectives
+	st.mu.Unlock()
+	if w.hook != nil {
+		switch w.hook.AtCollective(c.rank, seq) {
+		case ActCrash:
+			panic(fmt.Sprintf("injected crash at collective %d", seq))
+		case ActStall:
+			st.mu.Lock()
+			st.phase = fmt.Sprintf("stalled before %s #%d (injected)", name, seq)
+			st.waiting = true
+			st.stalled = true
+			st.mu.Unlock()
+			w.activity.Add(1)
+			<-w.dead
+			panic(stallError{seq: seq})
+		}
+	}
+	w.enterWait(c.rank, fmt.Sprintf("%s #%d", name, seq))
+	var out any
 	if c.rank == 0 {
 		all := make([]any, w.size)
 		all[0] = local
@@ -150,48 +529,57 @@ func (c *Comm) collect(local any, f func(all []any) any) any {
 			select {
 			case v := <-w.up[r]:
 				all[r] = v
+				w.activity.Add(1)
 			case <-w.dead:
 				panic(abortError{})
 			}
 		}
-		out := f(all)
+		out = f(all)
 		for r := 1; r < w.size; r++ {
 			select {
 			case w.down[r] <- out:
+				w.activity.Add(1)
 			case <-w.dead:
 				panic(abortError{})
 			}
 		}
-		return out
+	} else {
+		select {
+		case w.up[c.rank] <- local:
+			w.activity.Add(1)
+		case <-w.dead:
+			panic(abortError{})
+		}
+		select {
+		case v := <-w.down[c.rank]:
+			out = v
+			w.activity.Add(1)
+		case <-w.dead:
+			panic(abortError{})
+		}
 	}
-	select {
-	case w.up[c.rank] <- local:
-	case <-w.dead:
-		panic(abortError{})
-	}
-	select {
-	case v := <-w.down[c.rank]:
-		return v
-	case <-w.dead:
-		panic(abortError{})
-	}
+	w.leaveWait(c.rank)
+	st.mu.Lock()
+	st.collectives++
+	st.mu.Unlock()
+	return out
 }
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
-	c.collect(nil, func([]any) any { return nil })
+	c.collect("Barrier", nil, func([]any) any { return nil })
 }
 
 // Bcast distributes root's value to every rank (root's argument is
 // returned everywhere; other ranks' arguments are ignored).
 func (c *Comm) Bcast(root int, value any) any {
-	return c.collect(value, func(all []any) any { return all[root] })
+	return c.collect("Bcast", value, func(all []any) any { return all[root] })
 }
 
 // AllGather returns every rank's contribution, indexed by rank, on every
 // rank.
 func (c *Comm) AllGather(local any) []any {
-	v := c.collect(local, func(all []any) any {
+	v := c.collect("AllGather", local, func(all []any) any {
 		cp := make([]any, len(all))
 		copy(cp, all)
 		return cp
@@ -221,7 +609,7 @@ func MaxOp(dst, src []float64) {
 // Gather collects every rank's vector at root (indexed by rank); other
 // ranks receive nil — MPI_Gather.
 func (c *Comm) Gather(root int, local []float64) [][]float64 {
-	v := c.collect(local, func(all []any) any {
+	v := c.collect("Gather", local, func(all []any) any {
 		out := make([][]float64, len(all))
 		for r, x := range all {
 			src := x.([]float64)
@@ -238,7 +626,7 @@ func (c *Comm) Gather(root int, local []float64) [][]float64 {
 // Reduce combines every rank's vector with op at root; other ranks
 // receive nil — MPI_Reduce.
 func (c *Comm) Reduce(root int, local []float64, op ReduceOp) []float64 {
-	v := c.collect(local, func(all []any) any {
+	v := c.collect("Reduce", local, func(all []any) any {
 		first := all[0].([]float64)
 		acc := append([]float64(nil), first...)
 		for _, x := range all[1:] {
@@ -258,7 +646,7 @@ func (c *Comm) Reduce(root int, local []float64, op ReduceOp) []float64 {
 // AllReduce combines every rank's vector with op and returns the combined
 // vector on every rank — MPI_Allreduce. All vectors must share a length.
 func (c *Comm) AllReduce(local []float64, op ReduceOp) []float64 {
-	v := c.collect(local, func(all []any) any {
+	v := c.collect("AllReduce", local, func(all []any) any {
 		first := all[0].([]float64)
 		acc := make([]float64, len(first))
 		copy(acc, first)

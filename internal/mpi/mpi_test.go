@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync/atomic"
@@ -297,4 +299,249 @@ func TestReduceAndGather(t *testing.T) {
 			t.Errorf("rank %d received a Gather result", c.Rank())
 		}
 	})
+}
+
+// ---- fault-tolerance: RunErr, hooks, watchdog ----
+
+// hookFunc adapts a function to the Hook interface for tests.
+type hookFunc func(rank, seq int) HookAction
+
+func (h hookFunc) AtCollective(rank, seq int) HookAction { return h(rank, seq) }
+
+func TestRunErrClean(t *testing.T) {
+	rep := RunErr(4, RunConfig{}, func(c *Comm) error {
+		c.Barrier()
+		return nil
+	})
+	if !rep.OK() {
+		t.Fatalf("clean run not OK: %v", rep.Errs)
+	}
+	if rep.WatchdogFired {
+		t.Error("watchdog fired on a clean run")
+	}
+	if got := rep.Culprits(); len(got) != 0 {
+		t.Errorf("culprits = %v on a clean run", got)
+	}
+	if rep.Err() != nil {
+		t.Errorf("Err = %v on a clean run", rep.Err())
+	}
+	for r, st := range rep.States {
+		if !st.Done || st.Collectives != 1 {
+			t.Errorf("rank %d state = %+v", r, st)
+		}
+	}
+}
+
+// A rank panic under RunErr becomes a per-rank error instead of a
+// re-raised panic; peers blocked in the collective unwind with
+// ErrAborted and are not culprits.
+func TestRunErrRankPanic(t *testing.T) {
+	rep := RunErr(3, RunConfig{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		c.Barrier()
+		return nil
+	})
+	if rep.OK() {
+		t.Fatal("failed run reported OK")
+	}
+	var re *RankError
+	if !errors.As(rep.Errs[1], &re) || re.Rank != 1 || re.Val != "boom" {
+		t.Errorf("rank 1 error = %v", rep.Errs[1])
+	}
+	for _, r := range []int{0, 2} {
+		if !errors.Is(rep.Errs[r], ErrAborted) {
+			t.Errorf("rank %d error = %v, want ErrAborted", r, rep.Errs[r])
+		}
+	}
+	if got := rep.Culprits(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("culprits = %v, want [1]", got)
+	}
+	if !errors.As(rep.Err(), &re) {
+		t.Errorf("Err = %v, want the rank 1 panic", rep.Err())
+	}
+}
+
+// A returned error is the rank's own failure and marks it a culprit.
+func TestRunErrReturnedError(t *testing.T) {
+	sentinel := errors.New("local failure")
+	rep := RunErr(2, RunConfig{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(rep.Errs[0], sentinel) {
+		t.Errorf("rank 0 error = %v", rep.Errs[0])
+	}
+	if got := rep.Culprits(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("culprits = %v, want [0]", got)
+	}
+}
+
+// Abort kills the communicator: the caller's report entry carries the
+// reason, peers unwind with ErrAborted.
+func TestAbort(t *testing.T) {
+	rep := RunErr(3, RunConfig{}, func(c *Comm) error {
+		if c.Rank() == 2 {
+			c.Abort("bad input detected")
+		}
+		c.Barrier()
+		return nil
+	})
+	if rep.Errs[2] == nil || !strings.Contains(rep.Errs[2].Error(), "Abort: bad input detected") {
+		t.Errorf("rank 2 error = %v", rep.Errs[2])
+	}
+	for _, r := range []int{0, 1} {
+		if !errors.Is(rep.Errs[r], ErrAborted) {
+			t.Errorf("rank %d error = %v, want ErrAborted", r, rep.Errs[r])
+		}
+	}
+	if got := rep.Culprits(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("culprits = %v, want [2]", got)
+	}
+}
+
+// An injected crash at a collective entry surfaces as that rank's
+// RankError, exactly like a process death mid-protocol.
+func TestHookCrash(t *testing.T) {
+	rep := RunErr(3, RunConfig{
+		Hook: hookFunc(func(rank, seq int) HookAction {
+			if rank == 1 && seq == 0 {
+				return ActCrash
+			}
+			return ActProceed
+		}),
+	}, func(c *Comm) error {
+		c.Barrier()
+		return nil
+	})
+	var re *RankError
+	if !errors.As(rep.Errs[1], &re) || re.Rank != 1 {
+		t.Fatalf("rank 1 error = %v, want injected-crash RankError", rep.Errs[1])
+	}
+	if got := rep.Culprits(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("culprits = %v, want [1]", got)
+	}
+}
+
+// Acceptance: the watchdog converts an injected collective deadlock into
+// a diagnosed error with a per-rank state dump — never a hung test.
+func TestWatchdogDiagnosesInjectedDeadlock(t *testing.T) {
+	done := make(chan *RunReport, 1)
+	go func() {
+		done <- RunErr(3, RunConfig{
+			Watchdog: 100 * time.Millisecond,
+			Hook: hookFunc(func(rank, seq int) HookAction {
+				if rank == 2 && seq == 0 {
+					return ActStall
+				}
+				return ActProceed
+			}),
+		}, func(c *Comm) error {
+			c.Barrier()
+			return nil
+		})
+	}()
+	var rep *RunReport
+	select {
+	case rep = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog did not break the injected deadlock")
+	}
+	if !rep.WatchdogFired {
+		t.Fatalf("watchdog not reported; errs = %v", rep.Errs)
+	}
+	if got := rep.Culprits(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("culprits = %v, want the stalled rank [2]", got)
+	}
+	if rep.Errs[2] == nil || !strings.Contains(rep.Errs[2].Error(), "stalled") {
+		t.Errorf("rank 2 error = %v", rep.Errs[2])
+	}
+	for _, r := range []int{0, 1} {
+		if !errors.Is(rep.Errs[r], ErrWatchdog) {
+			t.Errorf("rank %d error = %v, want ErrWatchdog", r, rep.Errs[r])
+		}
+	}
+	// The dump names the stalled rank and the waiting peers.
+	if !rep.States[2].Stalled || !strings.Contains(rep.States[2].Phase, "stalled") {
+		t.Errorf("state dump for rank 2 = %+v", rep.States[2])
+	}
+	for _, r := range []int{0, 1} {
+		if !rep.States[r].Waiting {
+			t.Errorf("state dump for rank %d = %+v, want waiting", r, rep.States[r])
+		}
+	}
+	if dump := rep.DumpString(); !strings.Contains(dump, "rank 2") {
+		t.Errorf("dump = %q", dump)
+	}
+}
+
+// A rank that returns while peers wait in a collective is a real
+// deadlock (mismatched collective counts) — the watchdog diagnoses it.
+func TestWatchdogMismatchedCollectives(t *testing.T) {
+	rep := RunErr(3, RunConfig{Watchdog: 100 * time.Millisecond}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return nil // skips the barrier the others entered
+		}
+		c.Barrier()
+		return nil
+	})
+	if !rep.WatchdogFired {
+		t.Fatalf("watchdog missed the mismatched collective; errs = %v", rep.Errs)
+	}
+	for _, r := range []int{1, 2} {
+		if !errors.Is(rep.Errs[r], ErrWatchdog) {
+			t.Errorf("rank %d error = %v, want ErrWatchdog", r, rep.Errs[r])
+		}
+	}
+}
+
+// Slow computation outside the runtime must never trip the watchdog,
+// even when peers sit blocked in a collective the whole time.
+func TestWatchdogNoFalsePositiveOnSlowRank(t *testing.T) {
+	rep := RunErr(3, RunConfig{Watchdog: 50 * time.Millisecond}, func(c *Comm) error {
+		if c.Rank() == 2 {
+			time.Sleep(400 * time.Millisecond) // "computing"
+		}
+		c.Barrier()
+		return nil
+	})
+	if rep.WatchdogFired {
+		t.Fatalf("watchdog fired on a slow but live rank: %v", rep.Errs)
+	}
+	if !rep.OK() {
+		t.Errorf("errs = %v", rep.Errs)
+	}
+}
+
+// Run (the classic path) gains the promised hang protection: with the
+// package default watchdog shortened, a deadlocked communicator panics
+// with a diagnosis instead of hanging forever.
+func TestRunHangProtection(t *testing.T) {
+	old := DefaultWatchdog
+	DefaultWatchdog = 100 * time.Millisecond
+	defer func() { DefaultWatchdog = old }()
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Run(2, func(c *Comm) {
+			if c.Rank() == 0 {
+				return // abandons the barrier: deadlock
+			}
+			c.Barrier()
+		})
+	}()
+	select {
+	case p := <-done:
+		if p == nil {
+			t.Fatal("Run returned cleanly from a deadlock")
+		}
+		if !strings.Contains(fmt.Sprint(p), "watchdog") {
+			t.Errorf("panic = %v, want a watchdog diagnosis", p)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung despite hang protection")
+	}
 }

@@ -72,6 +72,23 @@ type Result struct {
 // ErrBadBounds reports inconsistent or malformed bounds.
 var ErrBadBounds = errors.New("nlopt: inconsistent bounds")
 
+// ErrNonFinite reports a residual or Jacobian containing NaN or Inf
+// where the algorithm cannot route around it (the starting point or a
+// derivative column). Non-finite *trial* residuals are handled
+// internally: the trial is treated as worse than the current point, so
+// the damping grows and a shorter step is tried — NaN never reaches the
+// normal equations.
+var ErrNonFinite = errors.New("nlopt: non-finite residual")
+
+func allFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // BoundedLeastSquares minimizes ½‖r(x)‖² subject to lower ≤ x ≤ upper.
 // m is the residual dimension.
 func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Options) (*Result, error) {
@@ -117,6 +134,9 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 		return nil, fmt.Errorf("nlopt: residual at start: %w", err)
 	}
 	res.FEvals++
+	if !allFinite(r) {
+		return nil, fmt.Errorf("%w at the starting point", ErrNonFinite)
+	}
 	rNorm := linalg.Norm2(r)
 	lambda := opts.InitialLambda
 
@@ -159,6 +179,7 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 		}
 
 		improved := false
+		sawNonFinite := false
 		for inner := 0; inner < 30; inner++ {
 			delta, err := solveDamped(jac, r, grad, free, lambda)
 			if err != nil {
@@ -174,6 +195,18 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 				return nil, fmt.Errorf("nlopt: residual at trial point: %w", err)
 			}
 			res.FEvals++
+			if !allFinite(rTrial) {
+				// The trial point broke the residual computation (for ODE
+				// objectives: the solver blew up there). Treat it as worse
+				// than the current point — grow the damping toward a
+				// shorter step — and keep NaN away from the accept test.
+				sawNonFinite = true
+				lambda *= 4
+				if lambda > 1e12 {
+					break
+				}
+				continue
+			}
 			tNorm := linalg.Norm2(rTrial)
 			if tNorm < rNorm {
 				// Accept.
@@ -199,8 +232,11 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 			}
 		}
 		if !improved || res.Converged {
-			if !improved {
-				res.Converged = true // stalled in a damped local minimum
+			// A stall in a damped local minimum is convergence — unless the
+			// stall came from non-finite trial residuals, which is a fault
+			// region, not an optimum.
+			if !improved && !sawNonFinite {
+				res.Converged = true
 			}
 			break
 		}
@@ -238,6 +274,11 @@ func jacobian(f Residual, x, r, lower, upper []float64, jac *linalg.Matrix, work
 		xw[j] = x[j] + d
 		if err := f(xw, work); err != nil {
 			return err
+		}
+		if !allFinite(work) {
+			// A NaN derivative column would poison Jᵀ J and every
+			// subsequent step; fail loudly instead.
+			return fmt.Errorf("%w in derivative column %d", ErrNonFinite, j)
 		}
 		inv := 1 / d
 		for i := 0; i < m; i++ {

@@ -289,3 +289,91 @@ func TestRankDeficientJacobian(t *testing.T) {
 		t.Errorf("x0+x1 = %v, want 3 (rnorm %g)", res.X[0]+res.X[1], res.RNorm)
 	}
 }
+
+func TestNonFiniteAtStart(t *testing.T) {
+	f := func(x, r []float64) error {
+		r[0] = math.NaN()
+		return nil
+	}
+	_, err := BoundedLeastSquares(f, []float64{0}, []float64{-1}, []float64{1}, 1, Options{})
+	if !errors.Is(err, ErrNonFinite) {
+		t.Errorf("err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestNonFiniteDerivativeColumn(t *testing.T) {
+	// Finite at the start, NaN under the Jacobian's forward perturbation:
+	// a poisoned derivative must fail loudly, not corrupt the step.
+	f := func(x, r []float64) error {
+		if x[0] > 4 {
+			r[0] = math.NaN()
+		} else {
+			r[0] = x[0] - 3
+		}
+		return nil
+	}
+	_, err := BoundedLeastSquares(f, []float64{4}, []float64{0}, []float64{10}, 1, Options{})
+	if !errors.Is(err, ErrNonFinite) {
+		t.Errorf("err = %v, want ErrNonFinite", err)
+	}
+}
+
+// A transient fault: the residual returns NaN for two evaluations and
+// then recovers. The optimizer must route around it (grow the damping,
+// shorten the step) and still reach the optimum.
+func TestTransientNaNTrialRecovered(t *testing.T) {
+	evals := 0
+	f := func(x, r []float64) error {
+		evals++
+		// Eval 1 is the start, eval 2 the 1-parameter Jacobian column,
+		// evals 3-4 the first two trial points — poison those.
+		if evals == 3 || evals == 4 {
+			r[0] = math.NaN()
+			return nil
+		}
+		r[0] = x[0] - 3
+		return nil
+	}
+	res, err := BoundedLeastSquares(f, []float64{4}, []float64{0}, []float64{10}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-6 {
+		t.Errorf("X = %v, want 3 (rnorm %g)", res.X, res.RNorm)
+	}
+	if !res.Converged {
+		t.Error("did not converge through the transient fault")
+	}
+}
+
+// A persistent NaN wall between the start and the optimum: the
+// optimizer must approach the wall from the finite side, never accept a
+// non-finite point, and never report the wall itself as a NaN result.
+func TestNaNWallNeverAccepted(t *testing.T) {
+	const wall = 3.9
+	f := func(x, r []float64) error {
+		if x[0] < wall {
+			r[0] = math.NaN()
+			return nil
+		}
+		r[0] = x[0] - 3
+		return nil
+	}
+	res, err := BoundedLeastSquares(f, []float64{4}, []float64{0}, []float64{10}, 1,
+		Options{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.RNorm) || math.IsNaN(res.X[0]) {
+		t.Fatalf("non-finite result accepted: X=%v rnorm=%v", res.X, res.RNorm)
+	}
+	if res.X[0] < wall {
+		t.Errorf("X = %v landed inside the NaN region (< %v)", res.X[0], wall)
+	}
+	if res.X[0] > wall+0.05 {
+		t.Errorf("X = %v, want pressed against the wall at %v", res.X[0], wall)
+	}
+	if math.Abs(res.RNorm-(res.X[0]-3)) > 1e-12 {
+		t.Errorf("RNorm = %v inconsistent with X = %v", res.RNorm, res.X[0])
+	}
+}

@@ -16,6 +16,10 @@ echo "== go test -race (mpi, parallel, estimator, ode, linalg)"
 go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/... \
 	./internal/ode/... ./internal/linalg/...
 
+echo "== fault-injection suite (-race)"
+go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stall|Crash|Abort' \
+	./internal/faults/... ./internal/mpi ./internal/estimator ./internal/nlopt
+
 echo "== fuzz smoke (FuzzParseRDL, 10s)"
 go test -fuzz=FuzzParseRDL -fuzztime=10s ./internal/rdl
 
