@@ -13,131 +13,216 @@
 //	rmsbench -sweep              # workload-redundancy sensitivity sweep
 //	rmsbench -faults             # recovery overhead under injected faults
 //	rmsbench -faults -rate 0.2   # same, with 20% transient solve failures
+//
+// Output and observability:
+//
+//	-json         emit the selected results as one JSON document on
+//	              stdout (for per-PR BENCH_*.json trajectory files);
+//	              includes a telemetry snapshot for the estimator-driven
+//	              benches, and moves human-readable summaries to stderr
+//	-trace f, -metrics, -pprof addr, -cpuprofile f
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"rms/internal/bench"
+	"rms/internal/telemetry"
 )
 
+// benchConfig selects which benches run and how they report.
+type benchConfig struct {
+	table                                         int
+	full, ablate, sweep, parallel, sparse, faults bool
+	rate                                          float64
+	workers, variants, evalMs                     int
+	jsonOut                                       bool
+	obs                                           telemetry.CLI
+}
+
+// report is the -json document: one optional section per bench, plus the
+// telemetry snapshot accumulated by the estimator-driven benches.
+type report struct {
+	Table1   []bench.Table1Row       `json:"table1,omitempty"`
+	Table2   []bench.Table2Row       `json:"table2,omitempty"`
+	Parallel []bench.ParallelRow     `json:"parallel,omitempty"`
+	Sparse   []bench.SparseRow       `json:"sparse,omitempty"`
+	Faults   []bench.FaultsRow       `json:"faults,omitempty"`
+	Ablation *ablationReport         `json:"ablation,omitempty"`
+	Sweep    []bench.SweepRow        `json:"sweep,omitempty"`
+	Metrics  []telemetry.MetricValue `json:"metrics,omitempty"`
+}
+
+type ablationReport struct {
+	Variants int                 `json:"variants"`
+	RawMuls  int                 `json:"rawMuls,omitempty"`
+	RawAdds  int                 `json:"rawAdds,omitempty"`
+	Rows     []bench.AblationRow `json:"rows"`
+}
+
 func main() {
-	var (
-		table    = flag.Int("table", 0, "which table to regenerate (1 or 2)")
-		full     = flag.Bool("full", false, "table 1: paper-scale sizes (static counts only)")
-		ablate   = flag.Bool("ablate", false, "run the optimizer ablation study")
-		sweep    = flag.Bool("sweep", false, "run the workload-redundancy sensitivity sweep")
-		parallel = flag.Bool("parallel", false, "compare serial vs levelized-parallel tape evaluation")
-		sparse   = flag.Bool("sparse", false, "compare dense vs sparse Jacobian build + factorization")
-		faults   = flag.Bool("faults", false, "measure fault-tolerance recovery overhead under injected failures")
-		rate     = flag.Float64("rate", 0, "-faults: transient per-file-solve failure rate (0 = default 0.05)")
-		workers  = flag.Int("workers", 0, "max worker-pool width (-parallel sweeps 2..workers, default 8; -table 2 pools each rank, default off)")
-		variants = flag.Int("variants", 0, "-parallel/-sparse: system size (0 = defaults)")
-		evalMs   = flag.Int("evalms", 300, "milliseconds of timing per configuration")
-	)
+	var cfg benchConfig
+	var trace, pprof, cpuProf string
+	var metrics bool
+	flag.IntVar(&cfg.table, "table", 0, "which table to regenerate (1 or 2)")
+	flag.BoolVar(&cfg.full, "full", false, "table 1: paper-scale sizes (static counts only)")
+	flag.BoolVar(&cfg.ablate, "ablate", false, "run the optimizer ablation study")
+	flag.BoolVar(&cfg.sweep, "sweep", false, "run the workload-redundancy sensitivity sweep")
+	flag.BoolVar(&cfg.parallel, "parallel", false, "compare serial vs levelized-parallel tape evaluation")
+	flag.BoolVar(&cfg.sparse, "sparse", false, "compare dense vs sparse Jacobian build + factorization")
+	flag.BoolVar(&cfg.faults, "faults", false, "measure fault-tolerance recovery overhead under injected failures")
+	flag.Float64Var(&cfg.rate, "rate", 0, "-faults: transient per-file-solve failure rate (0 = default 0.05)")
+	flag.IntVar(&cfg.workers, "workers", 0, "max worker-pool width (-parallel sweeps 2..workers, default 8; -table 2 pools each rank, default off)")
+	flag.IntVar(&cfg.variants, "variants", 0, "-parallel/-sparse: system size (0 = defaults)")
+	flag.IntVar(&cfg.evalMs, "evalms", 300, "milliseconds of timing per configuration")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON results on stdout")
+	flag.StringVar(&trace, "trace", "", "write a Chrome trace-event file of the estimator-driven benches")
+	flag.BoolVar(&metrics, "metrics", false, "print the telemetry metrics registry after the run")
+	flag.StringVar(&pprof, "pprof", "", "serve net/http/pprof on this address")
+	flag.StringVar(&cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
-	if err := run(*table, *full, *ablate, *sweep, *parallel, *sparse, *faults, *rate, *workers, *variants, *evalMs); err != nil {
+	cfg.obs = telemetry.CLI{TracePath: trace, Metrics: metrics, PprofAddr: pprof, CPUProfile: cpuProf}
+	if cfg.jsonOut {
+		cfg.obs.Out = os.Stderr // keep stdout clean JSON
+	}
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rmsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, full, ablate, sweep, parallel, sparse, injectFaults bool, rate float64, workers, variants, evalMs int) error {
+func run(w io.Writer, cfg benchConfig) error {
+	_, reg, finish, err := cfg.obs.Setup()
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut && reg == nil {
+		// -json always carries a telemetry snapshot of the
+		// estimator-driven benches, even without -metrics.
+		reg = telemetry.NewRegistry()
+	}
+	// Human-readable tables go to stdout normally, stderr under -json.
+	text := w
+	if cfg.jsonOut {
+		text = os.Stderr
+	}
+
+	var rep report
 	did := false
-	if table == 1 {
+	if cfg.table == 1 {
 		did = true
 		rows, err := bench.Table1(bench.Table1Config{
-			Paper:       full,
-			MinEvalTime: time.Duration(evalMs) * time.Millisecond,
+			Paper:       cfg.full,
+			MinEvalTime: time.Duration(cfg.evalMs) * time.Millisecond,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Println("Table 1 — optimization combinations across the five vulcanization test cases")
-		if full {
-			fmt.Println("(paper-scale sizes; static op counts, no timing)")
+		rep.Table1 = rows
+		fmt.Fprintln(text, "Table 1 — optimization combinations across the five vulcanization test cases")
+		if cfg.full {
+			fmt.Fprintln(text, "(paper-scale sizes; static op counts, no timing)")
 		} else {
-			fmt.Println("(scaled sizes; xlc columns model the 4.5 GB thin node at paper scale)")
+			fmt.Fprintln(text, "(scaled sizes; xlc columns model the 4.5 GB thin node at paper scale)")
 		}
-		fmt.Print(bench.FormatTable1(rows))
+		fmt.Fprint(text, bench.FormatTable1(rows))
 	}
-	if table == 2 {
+	if cfg.table == 2 {
 		did = true
-		cfg := bench.Table2Config{}
-		if workers > 1 {
-			cfg.Workers = workers
+		t2 := bench.Table2Config{Metrics: reg}
+		if cfg.workers > 1 {
+			t2.Workers = cfg.workers
 		}
-		rows, err := bench.Table2(cfg)
+		rows, err := bench.Table2(t2)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Table 2 — parallel objective over 16 data files (modeled parallel seconds)")
-		fmt.Print(bench.FormatTable2(rows))
+		rep.Table2 = rows
+		fmt.Fprintln(text, "Table 2 — parallel objective over 16 data files (modeled parallel seconds)")
+		fmt.Fprint(text, bench.FormatTable2(rows))
 	}
-	if parallel {
+	if cfg.parallel {
 		did = true
+		workers := cfg.workers
 		if workers == 0 {
 			workers = 8
 		}
 		rows, err := bench.ParallelEval(bench.ParallelConfig{
-			Variants:    variants,
+			Variants:    cfg.variants,
 			Workers:     workerSweep(workers),
-			MinEvalTime: time.Duration(evalMs) * time.Millisecond,
+			MinEvalTime: time.Duration(cfg.evalMs) * time.Millisecond,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Println("Levelized parallel tape evaluation vs the serial interpreter")
-		fmt.Print(bench.FormatParallel(rows))
+		rep.Parallel = rows
+		fmt.Fprintln(text, "Levelized parallel tape evaluation vs the serial interpreter")
+		fmt.Fprint(text, bench.FormatParallel(rows))
 	}
-	if sparse {
+	if cfg.sparse {
 		did = true
-		cfg := bench.SparseConfig{}
-		if variants > 0 {
-			cfg.Variants = []int{variants}
+		sc := bench.SparseConfig{}
+		if cfg.variants > 0 {
+			sc.Variants = []int{cfg.variants}
 		}
-		rows, err := bench.SparseCompare(cfg)
+		rows, err := bench.SparseCompare(sc)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Dense vs sparse analytical Jacobian: build + factorization of the Newton iteration matrix")
-		fmt.Print(bench.FormatSparse(rows))
+		rep.Sparse = rows
+		fmt.Fprintln(text, "Dense vs sparse analytical Jacobian: build + factorization of the Newton iteration matrix")
+		fmt.Fprint(text, bench.FormatSparse(rows))
 	}
-	if injectFaults {
+	if cfg.faults {
 		did = true
-		cfg := bench.FaultsConfig{Rate: rate}
-		if variants > 0 {
-			cfg.Variants = variants
+		fc := bench.FaultsConfig{Rate: cfg.rate, Metrics: reg}
+		if cfg.variants > 0 {
+			fc.Variants = cfg.variants
 		}
-		rows, err := bench.FaultTolerance(cfg)
+		rows, err := bench.FaultTolerance(fc)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Fault-tolerance recovery overhead (parallel objective, injected failures)")
-		fmt.Print(bench.FormatFaults(rows))
+		rep.Faults = rows
+		fmt.Fprintln(text, "Fault-tolerance recovery overhead (parallel objective, injected failures)")
+		fmt.Fprint(text, bench.FormatFaults(rows))
 	}
-	if ablate {
+	if cfg.ablate {
 		did = true
-		if err := runAblation(); err != nil {
+		ab, err := runAblation(text)
+		if err != nil {
 			return err
 		}
+		rep.Ablation = ab
 	}
-	if sweep {
+	if cfg.sweep {
 		did = true
 		rows, err := bench.RedundancySweep(128, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Workload-redundancy sweep (128-variant case, equivalent-site multiplicity scaled)")
-		fmt.Print(bench.FormatSweep(rows))
+		rep.Sweep = rows
+		fmt.Fprintln(text, "Workload-redundancy sweep (128-variant case, equivalent-site multiplicity scaled)")
+		fmt.Fprint(text, bench.FormatSweep(rows))
 	}
 	if !did {
 		flag.Usage()
+		return nil
 	}
-	return nil
+	if cfg.jsonOut {
+		rep.Metrics = reg.Snapshot()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			return err
+		}
+	}
+	return finish()
 }
 
 // workerSweep lists pool widths doubling from 2 up to max.
@@ -154,13 +239,13 @@ func workerSweep(max int) []int {
 
 // runAblation reports the op counts of every optimizer pass combination
 // on one mid-size test case, quantifying each pass's contribution.
-func runAblation() error {
+func runAblation(text io.Writer) (*ablationReport, error) {
 	const variants = 256
 	rows, rawM, rawA, err := bench.Ablation(variants)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("Ablation on the %d-variant vulcanization case\n", variants)
-	fmt.Print(bench.FormatAblation(rows, rawM, rawA))
-	return nil
+	fmt.Fprintf(text, "Ablation on the %d-variant vulcanization case\n", variants)
+	fmt.Fprint(text, bench.FormatAblation(rows, rawM, rawA))
+	return &ablationReport{Variants: variants, RawMuls: rawM, RawAdds: rawA, Rows: rows}, nil
 }

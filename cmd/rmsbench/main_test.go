@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONSparse checks the -json document for a structural bench: valid
+// JSON on the writer, with the dense/sparse op-count fields present.
+func TestJSONSparse(t *testing.T) {
+	var out bytes.Buffer
+	cfg := benchConfig{sparse: true, variants: 24, evalMs: 10, jsonOut: true}
+	if err := run(&out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Sparse []struct {
+			Equations       int
+			Speedup         float64
+			DenseFactorOps  float64
+			SparseFactorOps float64
+			SolveMatch      bool
+		}
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Sparse) != 1 {
+		t.Fatalf("sparse rows = %d, want 1", len(rep.Sparse))
+	}
+	r := rep.Sparse[0]
+	if r.Equations <= 0 || !r.SolveMatch {
+		t.Errorf("bad row: %+v", r)
+	}
+	if r.DenseFactorOps <= r.SparseFactorOps {
+		t.Errorf("dense factor ops %g not above sparse %g", r.DenseFactorOps, r.SparseFactorOps)
+	}
+}
+
+// TestJSONFaults checks that an estimator-driven bench carries a
+// telemetry snapshot in its -json document.
+func TestJSONFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full fault-tolerance bench")
+	}
+	var out bytes.Buffer
+	cfg := benchConfig{faults: true, jsonOut: true}
+	if err := run(&out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Faults []struct {
+			Scenario string
+		}
+		Metrics []struct {
+			Name  string
+			Kind  string
+			Count int64
+		}
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if len(rep.Faults) == 0 {
+		t.Fatal("no fault scenarios in report")
+	}
+	names := map[string]bool{}
+	for _, m := range rep.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"estimator.objective_calls", "ode.steps", "faults.retries"} {
+		if !names[want] {
+			t.Errorf("metrics snapshot lacks %q (have %d metrics)", want, len(rep.Metrics))
+		}
+	}
+}

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	rmsrun -variants 60 -data ./rms-assets -ranks 4 -lb
+//
+// Observability:
+//
+//	-trace out.json    Chrome trace (one lane per MPI rank) + text summary
+//	-metrics           print the telemetry registry after the fit
+//	-pprof addr        serve net/http/pprof on addr (e.g. localhost:6060)
+//	-cpuprofile f      write a CPU profile to f
 package main
 
 import (
@@ -23,8 +30,32 @@ import (
 	"rms/internal/ode"
 	"rms/internal/opt"
 	"rms/internal/stats"
+	"rms/internal/telemetry"
 	"rms/internal/vulcan"
 )
+
+// observeLM publishes per-iteration optimizer telemetry into reg (no-op
+// wiring when reg is nil: nil metrics absorb the writes).
+func observeLM(reg *telemetry.Registry) func(nlopt.IterEvent) {
+	iters := reg.Counter("lm.iterations")
+	trials := reg.Counter("lm.trials")
+	nonFinite := reg.Counter("lm.nonfinite_trials")
+	accepted := reg.Counter("lm.accepted_iters")
+	lambda := reg.Gauge("lm.lambda")
+	rnorm := reg.Gauge("lm.rnorm")
+	freeVars := reg.Gauge("lm.free_vars")
+	return func(ev nlopt.IterEvent) {
+		iters.Inc()
+		trials.Add(int64(ev.Trials))
+		nonFinite.Add(int64(ev.NonFiniteTrials))
+		if ev.Improved {
+			accepted.Inc()
+		}
+		lambda.Set(ev.Lambda)
+		rnorm.Set(ev.RNorm)
+		freeVars.Set(float64(ev.FreeVars))
+	}
+}
 
 func main() {
 	var (
@@ -34,15 +65,27 @@ func main() {
 		lb       = flag.Bool("lb", true, "enable dynamic load balancing")
 		maxIter  = flag.Int("maxiter", 30, "Levenberg-Marquardt iteration cap")
 		free     = flag.Int("free", 3, "number of rate constants left free to fit (rest pinned to truth)")
+		trace    = flag.String("trace", "", "write a Chrome trace-event file and print the span summary")
+		metrics  = flag.Bool("metrics", false, "print the telemetry metrics registry after the fit")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
-	if err := run(*variants, *dataDir, *ranks, *lb, *maxIter, *free); err != nil {
+	obs := telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof, CPUProfile: *cpuProf}
+	if err := run(*variants, *dataDir, *ranks, *lb, *maxIter, *free, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "rmsrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(variants int, dataDir string, ranks int, lb bool, maxIter, free int) error {
+func run(variants int, dataDir string, ranks int, lb bool, maxIter, free int, obs telemetry.CLI) error {
+	tracer, reg, finish, err := obs.Setup()
+	if err != nil {
+		return err
+	}
+	mainLane := tracer.Lane("main") // nil tracer → nil lane, all no-ops
+
+	mainLane.Begin("load data")
 	paths, err := filepath.Glob(filepath.Join(dataDir, "exp*.dat"))
 	if err != nil {
 		return err
@@ -59,17 +102,22 @@ func run(variants int, dataDir string, ranks int, lb bool, maxIter, free int) er
 		}
 		files = append(files, f)
 	}
+	mainLane.End()
 	fmt.Printf("loaded %d data files (%d..%d records)\n",
 		len(files), files[0].NumRecords(), files[len(files)-1].NumRecords())
 
+	mainLane.Begin("compile")
 	net, err := vulcan.Network(variants)
 	if err != nil {
+		mainLane.End()
 		return err
 	}
 	res, err := core.CompileNetwork(net, core.Config{
 		Optimize:         opt.Full(),
 		AnalyticJacobian: true,
+		Trace:            mainLane,
 	})
+	mainLane.End()
 	if err != nil {
 		return err
 	}
@@ -77,7 +125,9 @@ func run(variants int, dataDir string, ranks int, lb bool, maxIter, free int) er
 
 	model := res.Model(vulcan.CrosslinkProperty(res.System),
 		ode.Options{RTol: 1e-9, ATol: 1e-12})
-	est, err := estimator.New(model, files, estimator.Config{Ranks: ranks, LoadBalance: lb})
+	est, err := estimator.New(model, files, estimator.Config{
+		Ranks: ranks, LoadBalance: lb, Trace: tracer, Metrics: reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -98,8 +148,13 @@ func run(variants int, dataDir string, ranks int, lb bool, maxIter, free int) er
 			lower[i], upper[i], start[i] = truth, truth, truth
 		}
 	}
-	fit, err := est.Estimate(start, lower, upper,
-		nlopt.Options{MaxIter: maxIter, RelStep: 1e-4, KeepJacobian: true})
+	lmOpts := nlopt.Options{MaxIter: maxIter, RelStep: 1e-4, KeepJacobian: true}
+	if reg != nil {
+		lmOpts.Observer = observeLM(reg)
+	}
+	mainLane.Begin("estimate")
+	fit, err := est.Estimate(start, lower, upper, lmOpts)
+	mainLane.End()
 	if err != nil {
 		return err
 	}
@@ -116,11 +171,13 @@ func run(variants int, dataDir string, ranks int, lb bool, maxIter, free int) er
 		fmt.Printf("%-14s %8.4f %8.4f%s\n", name, fit.X[i], vulcan.TrueRates[name], marker)
 	}
 	// The Fig. 1 statistical-analysis step.
+	mainLane.Begin("analyze")
 	good, ivs, err := est.Analyze(fit)
+	mainLane.End()
 	if err != nil {
 		return err
 	}
 	fmt.Println("goodness of fit:", good)
 	fmt.Print(stats.FormatIntervals(res.System.Rates, ivs))
-	return nil
+	return finish()
 }

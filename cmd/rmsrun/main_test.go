@@ -1,16 +1,21 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"rms/internal/dataset"
+	"rms/internal/telemetry"
 )
 
-func TestRunEstimation(t *testing.T) {
+// synthData writes three small experiment files into a fresh temp dir.
+func synthData(t *testing.T) string {
+	t.Helper()
 	dir := t.TempDir()
-	// Synthesize three small files with a plausible rising curve.
 	curve := func(tt float64) float64 { return 1 - 1/(1+tt) }
 	for i := 0; i < 3; i++ {
 		f := dataset.Synthesize(curve, dataset.SynthesizeOptions{
@@ -23,15 +28,106 @@ func TestRunEstimation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	return dir
+}
+
+func TestRunEstimation(t *testing.T) {
+	dir := synthData(t)
 	// A short run must complete without error; recovery quality is covered
 	// by the estimator and integration tests.
-	if err := run(9, dir, 2, true, 3, 1); err != nil {
+	if err := run(9, dir, 2, true, 3, 1, telemetry.CLI{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingData(t *testing.T) {
-	if err := run(9, t.TempDir(), 1, false, 1, 1); err == nil {
+	if err := run(9, t.TempDir(), 1, false, 1, 1, telemetry.CLI{}); err == nil {
 		t.Error("empty data dir accepted")
+	}
+}
+
+// traceEvent mirrors the Chrome trace-event fields the test inspects.
+type traceEvent struct {
+	Ph   string  `json:"ph"`
+	Name string  `json:"name"`
+	TID  int64   `json:"tid"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Args struct {
+		Name string `json:"name"`
+	} `json:"args"`
+}
+
+// TestRunTrace is the acceptance check for the -trace flag: the run must
+// produce well-formed Chrome trace JSON with one lane per simulated MPI
+// rank, and the named spans on the main lane must attribute at least 95%
+// of the traced wall time.
+func TestRunTrace(t *testing.T) {
+	dir := synthData(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	obs := telemetry.CLI{TracePath: tracePath, Metrics: true}
+	if err := run(9, dir, 2, true, 3, 1, obs); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	// Lane inventory from the thread_name metadata events.
+	lanes := map[string]int64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			lanes[ev.Args.Name] = ev.TID
+		}
+	}
+	for _, want := range []string{"main", "estimator", "rank 0", "rank 1"} {
+		if _, ok := lanes[want]; !ok {
+			t.Errorf("trace lacks lane %q (lanes: %v)", want, lanes)
+		}
+	}
+
+	// Coverage: union of main-lane spans over the full traced window.
+	mainTID := lanes["main"]
+	type iv struct{ s, e float64 }
+	var spans []iv
+	var last float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if end := ev.TS + ev.Dur; end > last {
+			last = end
+		}
+		if ev.TID == mainTID {
+			spans = append(spans, iv{ev.TS, ev.TS + ev.Dur})
+		}
+	}
+	if len(spans) == 0 || last <= 0 {
+		t.Fatal("no complete events on the main lane")
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].s < spans[j].s })
+	var covered, hi float64
+	hi = -1
+	for _, s := range spans {
+		if s.s > hi {
+			covered += s.e - s.s
+			hi = s.e
+		} else if s.e > hi {
+			covered += s.e - hi
+			hi = s.e
+		}
+	}
+	if cov := covered / last; cov < 0.95 {
+		t.Errorf("main-lane spans attribute %.1f%% of traced wall time, want >= 95%%", 100*cov)
 	}
 }

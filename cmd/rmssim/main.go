@@ -11,12 +11,17 @@
 //	-points N     output rows (default 100)
 //	-solver s     adams-gear | runge-kutta (default adams-gear)
 //	-rtol/-atol   tolerances (defaults 1e-8 / 1e-11)
+//
+// Observability (summaries go to stderr; stdout stays clean CSV):
+//
+//	-trace f, -metrics, -pprof addr, -cpuprofile f
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -24,6 +29,7 @@ import (
 	"rms/internal/linalg"
 	"rms/internal/ode"
 	"rms/internal/opt"
+	"rms/internal/telemetry"
 )
 
 func main() {
@@ -34,16 +40,49 @@ func main() {
 		solver   = flag.String("solver", "adams-gear", "adams-gear | runge-kutta")
 		rtol     = flag.Float64("rtol", 1e-8, "relative tolerance")
 		atol     = flag.Float64("atol", 1e-11, "absolute tolerance")
+		trace    = flag.String("trace", "", "write a Chrome trace-event file; summary on stderr")
+		metrics  = flag.Bool("metrics", false, "print solver metrics on stderr")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *rcipPath, *tEnd, *points, *solver, *rtol, *atol, flag.Args()); err != nil {
+	obs := telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof,
+		CPUProfile: *cpuProf, Out: os.Stderr}
+	if err := run(os.Stdout, *rcipPath, *tEnd, *points, *solver, *rtol, *atol, flag.Args(), obs); err != nil {
 		fmt.Fprintln(os.Stderr, "rmssim:", err)
 		os.Exit(1)
 	}
 }
 
+// observeSolver publishes per-step solver telemetry into reg.
+func observeSolver(reg *telemetry.Registry) ode.StepObserver {
+	steps := reg.Counter("ode.steps")
+	rejected := reg.Counter("ode.rejected_steps")
+	newton := reg.Counter("ode.newton_iters")
+	factor := reg.Counter("ode.factorizations")
+	h := reg.Histogram("ode.step_size", []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100})
+	order := reg.Gauge("ode.order")
+	return func(ev ode.StepEvent) {
+		if ev.Accepted {
+			steps.Inc()
+		} else {
+			rejected.Inc()
+		}
+		newton.Add(int64(ev.NewtonIters))
+		factor.Add(int64(ev.Factorizations))
+		h.Observe(math.Abs(ev.H))
+		order.Set(float64(ev.Order))
+	}
+}
+
 func run(w io.Writer, rcipPath string, tEnd float64, points int,
-	solverName string, rtol, atol float64, args []string) error {
+	solverName string, rtol, atol float64, args []string, obs telemetry.CLI) error {
+
+	tracer, reg, finish, err := obs.Setup()
+	if err != nil {
+		return err
+	}
+	lane := tracer.Lane("main")
 
 	if len(args) != 1 {
 		return fmt.Errorf("expected one model file, got %d", len(args))
@@ -58,7 +97,8 @@ func run(w io.Writer, rcipPath string, tEnd float64, points int,
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Optimize: opt.Full(), AnalyticJacobian: solverName == "adams-gear"}
+	cfg := core.Config{Optimize: opt.Full(), AnalyticJacobian: solverName == "adams-gear",
+		Trace: lane}
 	if rcipPath != "" {
 		b, err := os.ReadFile(rcipPath)
 		if err != nil {
@@ -66,7 +106,9 @@ func run(w io.Writer, rcipPath string, tEnd float64, points int,
 		}
 		cfg.RCIP = string(b)
 	}
+	lane.Begin("compile")
 	res, err := core.CompileRDL(string(src), cfg)
+	lane.End()
 	if err != nil {
 		return err
 	}
@@ -84,9 +126,13 @@ func run(w io.Writer, rcipPath string, tEnd float64, points int,
 	}
 
 	ev := res.Tape.NewEvaluator()
+	ev.Observe(reg)
 	rhs := func(_ float64, y, dy []float64) { ev.Eval(y, k, dy) }
 	n := len(res.System.Y0)
 	opts := ode.Options{RTol: rtol, ATol: atol}
+	if reg != nil {
+		opts.Observer = observeSolver(reg)
+	}
 	var integrate func(t0, t1 float64, y []float64) error
 	switch solverName {
 	case "adams-gear":
@@ -106,15 +152,18 @@ func run(w io.Writer, rcipPath string, tEnd float64, points int,
 	fmt.Fprintf(w, "t,%s\n", strings.Join(res.System.Species, ","))
 	y := append([]float64(nil), res.System.Y0...)
 	writeRow(w, 0, y)
+	lane.Begin("integrate")
 	for i := 1; i < points; i++ {
 		t0 := tEnd * float64(i-1) / float64(points-1)
 		t1 := tEnd * float64(i) / float64(points-1)
 		if err := integrate(t0, t1, y); err != nil {
+			lane.End()
 			return err
 		}
 		writeRow(w, t1, y)
 	}
-	return nil
+	lane.End()
+	return finish()
 }
 
 func writeRow(w io.Writer, t float64, y []float64) {

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+
+	"rms/internal/telemetry"
 )
 
 const simModel = `
@@ -37,7 +40,7 @@ func TestSimulateCSV(t *testing.T) {
 	model, rates := writeInputs(t)
 	for _, solver := range []string{"adams-gear", "runge-kutta"} {
 		var buf bytes.Buffer
-		if err := run(&buf, rates, 1, 11, solver, 1e-9, 1e-12, []string{model}); err != nil {
+		if err := run(&buf, rates, 1, 11, solver, 1e-9, 1e-12, []string{model}, telemetry.CLI{}); err != nil {
 			t.Fatalf("%s: %v", solver, err)
 		}
 		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -59,22 +62,51 @@ func TestSimulateCSV(t *testing.T) {
 	}
 }
 
+// TestSimulateObserved runs with -trace and -metrics active: the CSV on
+// stdout must be untouched, the trace file must be valid JSON, and the
+// stderr-bound summary must report solver metrics.
+func TestSimulateObserved(t *testing.T) {
+	model, rates := writeInputs(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var csv, obsOut bytes.Buffer
+	obs := telemetry.CLI{TracePath: tracePath, Metrics: true, Out: &obsOut}
+	if err := run(&csv, rates, 1, 11, "adams-gear", 1e-9, 1e-12, []string{model}, obs); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(csv.String()), "\n"); len(lines) != 12 {
+		t.Errorf("CSV rows = %d, want 12", len(lines))
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	for _, want := range []string{"== span summary", "compile", "integrate", "ode.steps", "tape.evals"} {
+		if !strings.Contains(obsOut.String(), want) {
+			t.Errorf("observability output lacks %q:\n%s", want, obsOut.String())
+		}
+	}
+}
+
 func TestSimulateErrors(t *testing.T) {
 	model, rates := writeInputs(t)
 	var buf bytes.Buffer
-	if err := run(&buf, "", 1, 10, "adams-gear", 1e-8, 1e-11, []string{model}); err == nil {
+	if err := run(&buf, "", 1, 10, "adams-gear", 1e-8, 1e-11, []string{model}, telemetry.CLI{}); err == nil {
 		t.Error("missing rcip accepted")
 	}
-	if err := run(&buf, rates, 1, 1, "adams-gear", 1e-8, 1e-11, []string{model}); err == nil {
+	if err := run(&buf, rates, 1, 1, "adams-gear", 1e-8, 1e-11, []string{model}, telemetry.CLI{}); err == nil {
 		t.Error("points < 2 accepted")
 	}
-	if err := run(&buf, rates, -1, 10, "adams-gear", 1e-8, 1e-11, []string{model}); err == nil {
+	if err := run(&buf, rates, -1, 10, "adams-gear", 1e-8, 1e-11, []string{model}, telemetry.CLI{}); err == nil {
 		t.Error("negative tend accepted")
 	}
-	if err := run(&buf, rates, 1, 10, "euler", 1e-8, 1e-11, []string{model}); err == nil {
+	if err := run(&buf, rates, 1, 10, "euler", 1e-8, 1e-11, []string{model}, telemetry.CLI{}); err == nil {
 		t.Error("unknown solver accepted")
 	}
-	if err := run(&buf, rates, 1, 10, "adams-gear", 1e-8, 1e-11, nil); err == nil {
+	if err := run(&buf, rates, 1, 10, "adams-gear", 1e-8, 1e-11, nil, telemetry.CLI{}); err == nil {
 		t.Error("no model accepted")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"rms/internal/ode"
 	"rms/internal/opt"
 	"rms/internal/parallel"
+	"rms/internal/telemetry"
 	"rms/internal/vulcan"
 )
 
@@ -301,6 +302,9 @@ type Table2Config struct {
 	// Workers > 1 additionally gives each rank a worker pool of that
 	// width for levelized parallel tape evaluation.
 	Workers int
+	// Metrics, when non-nil, receives the estimator/solver/MPI telemetry
+	// of every configuration (accumulated across the whole sweep).
+	Metrics *telemetry.Registry
 }
 
 // Table2 measures the parallel objective across rank counts.
@@ -347,6 +351,7 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 	measure := func(ranks int, lb bool) (modelSec, wallSec float64, err error) {
 		est, err := estimator.New(model, files, estimator.Config{
 			Ranks: ranks, LoadBalance: lb, Workers: cfg.Workers,
+			Metrics: cfg.Metrics,
 		})
 		if err != nil {
 			return 0, 0, err

@@ -15,6 +15,7 @@ import (
 	"rms/internal/faults"
 	"rms/internal/ode"
 	"rms/internal/opt"
+	"rms/internal/telemetry"
 	"rms/internal/vulcan"
 )
 
@@ -49,6 +50,9 @@ type FaultsConfig struct {
 	Rate float64
 	// Seed drives the deterministic injection plans (default 1).
 	Seed int64
+	// Metrics, when non-nil, receives the estimator/solver/fault
+	// telemetry of every scenario (accumulated across the run).
+	Metrics *telemetry.Registry
 }
 
 // FaultTolerance measures the parallel objective under four scenarios:
@@ -96,6 +100,7 @@ func FaultTolerance(cfg FaultsConfig) ([]FaultsRow, error) {
 		ecfg := estimator.Config{
 			Ranks: cfg.Ranks, LoadBalance: true,
 			FaultTolerant: true, Watchdog: watchdog,
+			Metrics: cfg.Metrics,
 		}
 		if plan != nil {
 			ecfg.Faults = plan
@@ -130,11 +135,11 @@ func FaultTolerance(cfg FaultsConfig) ([]FaultsRow, error) {
 			faults.NewPlan(cfg.Seed).FailRate(cfg.Rate), 0},
 		// One rank dies at its third collective — during objective call 1,
 		// with call 0's balanced assignment already in place.
-		{"rank crash", faults.NewPlan(cfg.Seed).CrashRank(cfg.Ranks - 1, 2), 0},
+		{"rank crash", faults.NewPlan(cfg.Seed).CrashRank(cfg.Ranks-1, 2), 0},
 		// One rank wedges instead of dying; a short watchdog (generous
 		// against this benchmark's sub-second calls) converts the hang
 		// into a diagnosed failure and the survivors re-run.
-		{"rank stall + watchdog", faults.NewPlan(cfg.Seed).StallRank(cfg.Ranks - 1, 2),
+		{"rank stall + watchdog", faults.NewPlan(cfg.Seed).StallRank(cfg.Ranks-1, 2),
 			500 * time.Millisecond},
 	}
 	var rows []FaultsRow

@@ -128,6 +128,7 @@ func (e *Evaluator) runMain() {
 	sc := e.prog.Schedule()
 	if sc == nil || len(e.prog.Code) < par.threshold || sc.parallelN == 0 {
 		par.stats.SerialEvals++
+		e.telSerial.Inc()
 		runCode(e.slots, e.prog.Code)
 		return
 	}
@@ -135,6 +136,7 @@ func (e *Evaluator) runMain() {
 		par.fillStatic(sc)
 	}
 	par.stats.ParallelEvals++
+	e.telParallel.Inc()
 	e.runLevels(sc)
 }
 

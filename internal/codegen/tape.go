@@ -13,6 +13,8 @@ package codegen
 import (
 	"fmt"
 	"sync"
+
+	"rms/internal/telemetry"
 )
 
 // OpCode enumerates tape instructions.
@@ -112,6 +114,23 @@ type Evaluator struct {
 	// when lastK compares equal to k (e.g. a program with NumK == 0).
 	preludeDone bool
 	par         *parState
+
+	// Telemetry counters (nil — free no-ops — unless Observe was called).
+	telEvals    *telemetry.Counter
+	telPrelude  *telemetry.Counter
+	telParallel *telemetry.Counter
+	telSerial   *telemetry.Counter
+}
+
+// Observe publishes the evaluator's activity into reg: tape evaluations,
+// prelude reruns, and — for pool-attached evaluators — the
+// parallel-vs-serial engine choice per evaluation. A nil registry
+// detaches (counters return to no-ops).
+func (e *Evaluator) Observe(reg *telemetry.Registry) {
+	e.telEvals = reg.Counter("tape.evals")
+	e.telPrelude = reg.Counter("tape.prelude_runs")
+	e.telParallel = reg.Counter("tape.parallel_evals")
+	e.telSerial = reg.Counter("tape.serial_evals")
 }
 
 // Eval computes dy = f(y, k). dy must have length len(Out) (NumY for ODE
@@ -147,7 +166,9 @@ func (e *Evaluator) EvalSlots(y, k []float64) {
 		runCode(s, p.Prelude)
 		e.lastK = append(e.lastK[:0], k...)
 		e.preludeDone = true
+		e.telPrelude.Inc()
 	}
+	e.telEvals.Inc()
 	e.runMain()
 }
 

@@ -18,6 +18,7 @@ import (
 	"rms/internal/opt"
 	"rms/internal/rcip"
 	"rms/internal/rdl"
+	"rms/internal/telemetry"
 )
 
 // Result bundles every artifact of one chemical compilation.
@@ -55,15 +56,23 @@ type Config struct {
 	// symbolically and compiles the Jacobian entries (Result.Jacobian);
 	// the estimator's stiff solver then uses exact Jacobians.
 	AnalyticJacobian bool
+	// Trace, when non-nil, records one span per compiler phase (parse,
+	// network generation, RCIP, equation generation, optimization, code
+	// generation, C emission, Jacobian compilation) on the lane.
+	Trace *telemetry.Lane
 }
 
 // CompileRDL runs the whole front half of the pipeline on RDL source.
 func CompileRDL(src string, cfg Config) (*Result, error) {
+	cfg.Trace.Begin("parse")
 	prog, err := rdl.Parse(src)
+	cfg.Trace.End()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Trace.Begin("network generation")
 	net, err := network.Generate(prog)
+	cfg.Trace.End()
 	if err != nil {
 		return nil, err
 	}
@@ -80,20 +89,29 @@ func CompileRDL(src string, cfg Config) (*Result, error) {
 func CompileNetwork(net *network.Network, cfg Config) (*Result, error) {
 	res := &Result{Network: net}
 	if cfg.RCIP != "" {
+		cfg.Trace.Begin("rcip")
 		tab, err := rcip.Parse(cfg.RCIP)
 		if err != nil {
+			cfg.Trace.End()
 			return nil, err
 		}
 		tab.Apply(net)
+		cfg.Trace.End()
 		res.Rates = tab
 	}
+	cfg.Trace.Begin("equation generation")
 	res.System = eqgen.FromNetwork(net)
+	cfg.Trace.End()
+	cfg.Trace.Begin("optimize")
 	z, err := opt.Optimize(res.System, cfg.Optimize)
+	cfg.Trace.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Optimized = z
+	cfg.Trace.Begin("codegen")
 	tape, err := codegen.Compile(z)
+	cfg.Trace.End()
 	if err != nil {
 		return nil, err
 	}
@@ -102,9 +120,13 @@ func CompileNetwork(net *network.Network, cfg Config) (*Result, error) {
 	if name == "" {
 		name = "ode_fcn"
 	}
+	cfg.Trace.Begin("emit C")
 	res.C = codegen.EmitC(z, name)
+	cfg.Trace.End()
 	if cfg.AnalyticJacobian {
+		cfg.Trace.Begin("jacobian compilation")
 		jp, err := codegen.CompileJacobian(res.System, cfg.Optimize)
+		cfg.Trace.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: jacobian: %w", err)
 		}

@@ -18,6 +18,7 @@ package estimator
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"rms/internal/ode"
 	"rms/internal/parallel"
 	"rms/internal/stats"
+	"rms/internal/telemetry"
 )
 
 // Model couples a compiled kinetic system with the measured observable.
@@ -89,6 +91,77 @@ type Config struct {
 	// collective is aborted and — when FaultTolerant — recovered. Zero
 	// disables it.
 	Watchdog time.Duration
+	// Trace, when non-nil, records the estimator's timeline: one
+	// "objective #N" span per call on an "estimator" lane, per-file solve
+	// spans on each rank's lane (shared with the mpi runtime's collective
+	// wait spans), and instant marks for rebalances and rank recoveries.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, publishes the estimator's accounting into
+	// the registry: cumulative solver work, step-size and per-file
+	// solve-cost histograms, the load-imbalance gauge, per-rank MPI wait
+	// time and the fault-recovery counters. Nil costs nothing — every
+	// metric degrades to a no-op.
+	Metrics *telemetry.Registry
+}
+
+// estMetrics bundles the estimator's registry handles; the zero value
+// (all nil) is the disabled no-op state.
+type estMetrics struct {
+	objectives *telemetry.Counter
+	fileSolves *telemetry.Counter
+	solveNs    *telemetry.Histogram // modeled per-file solve cost, ns
+	stepSize   *telemetry.Histogram // |h| of every adaptive step attempt
+	imbalance  *telemetry.Gauge     // makespan / mean rank load, last call
+
+	steps, rejected, fevals, jevals  *telemetry.Counter
+	newtonIters, factorizations      *telemetry.Counter
+	sparseFactorizations             *telemetry.Counter
+	factorOps, solveOps              *telemetry.FloatCounter
+	mpiWaitSec                       *telemetry.FloatCounter
+	retries, penalized, rankFailures *telemetry.Counter
+	watchdogTrips, rerunCalls        *telemetry.Counter
+}
+
+// stepSizeBuckets spans the step magnitudes chemistry integrations visit,
+// from deep transients to free-running cruise.
+var stepSizeBuckets = []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
+
+func newEstMetrics(reg *telemetry.Registry) estMetrics {
+	return estMetrics{
+		objectives:           reg.Counter("estimator.objective_calls"),
+		fileSolves:           reg.Counter("estimator.file_solves"),
+		solveNs:              reg.Histogram("estimator.file_solve_ns", nil),
+		stepSize:             reg.Histogram("ode.step_size", stepSizeBuckets),
+		imbalance:            reg.Gauge("estimator.imbalance"),
+		steps:                reg.Counter("ode.steps"),
+		rejected:             reg.Counter("ode.rejected_steps"),
+		fevals:               reg.Counter("ode.fevals"),
+		jevals:               reg.Counter("ode.jevals"),
+		newtonIters:          reg.Counter("ode.newton_iters"),
+		factorizations:       reg.Counter("ode.factorizations"),
+		sparseFactorizations: reg.Counter("ode.sparse_factorizations"),
+		factorOps:            reg.FloatCounter("ode.factor_ops"),
+		solveOps:             reg.FloatCounter("ode.solve_ops"),
+		mpiWaitSec:           reg.FloatCounter("mpi.wait_seconds"),
+		retries:              reg.Counter("faults.retries"),
+		penalized:            reg.Counter("faults.penalized_files"),
+		rankFailures:         reg.Counter("faults.rank_failures"),
+		watchdogTrips:        reg.Counter("faults.watchdog_trips"),
+		rerunCalls:           reg.Counter("faults.rerun_calls"),
+	}
+}
+
+// publishStats folds one file solve's work counters into the registry.
+func (m *estMetrics) publishStats(st ode.Stats) {
+	m.steps.Add(int64(st.Steps))
+	m.rejected.Add(int64(st.Rejected))
+	m.fevals.Add(int64(st.FEvals))
+	m.jevals.Add(int64(st.JEvals))
+	m.newtonIters.Add(int64(st.NewtonIters))
+	m.factorizations.Add(int64(st.Factorizations))
+	m.sparseFactorizations.Add(int64(st.SparseFactorizations))
+	m.factorOps.Add(st.FactorOps)
+	m.solveOps.Add(st.SolveOps)
 }
 
 // Estimator runs parallel objective evaluations and parameter fits.
@@ -111,6 +184,11 @@ type Estimator struct {
 	// ranks report retries and penalties concurrently).
 	recMu    sync.Mutex
 	recovery RecoveryStats
+
+	// met holds the registry handles (all nil without cfg.Metrics); lane
+	// is the estimator's own telemetry timeline (nil without cfg.Trace).
+	met  estMetrics
+	lane *telemetry.Lane
 
 	// Accumulated across objective calls:
 	calls       int
@@ -145,12 +223,15 @@ func New(model *Model, files []*dataset.File, cfg Config) (*Estimator, error) {
 		lastTimes: make([]float64, len(files)),
 	}
 	e.assignment = blockAssign(len(files), cfg.Ranks)
+	e.met = newEstMetrics(cfg.Metrics) // nil registry → all-no-op handles
+	e.lane = cfg.Trace.Lane("estimator")
 	if cfg.Workers > 1 {
 		// One pool per rank: ranks evaluate concurrently, and sharing a
 		// pool would serialize their tape sweeps against each other.
 		e.pools = make([]*parallel.Pool, cfg.Ranks)
 		for r := range e.pools {
 			e.pools[r] = parallel.NewPool(cfg.Workers)
+			e.pools[r].Observe(cfg.Metrics)
 		}
 	}
 	e.calibrate()
@@ -196,6 +277,15 @@ func (e *Estimator) calibrate() {
 		e.secPerOp = 1e-9
 	}
 	e.opsPerEval = opsPerEval
+}
+
+// publishSolve records one file solve's work in the registry: the solve
+// counter, the modeled cost histogram, and the cumulative solver
+// counters. Free when metrics are disabled (all handles nil).
+func (e *Estimator) publishSolve(st ode.Stats) {
+	e.met.fileSolves.Inc()
+	e.met.solveNs.Observe(e.workOps(st) * e.secPerOp * 1e9)
+	e.met.publishStats(st)
 }
 
 // workOps converts solver statistics into a deterministic work count (op
@@ -274,12 +364,19 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 			len(k), e.model.Prog.NumK)
 	}
 	start := time.Now()
+	if e.lane != nil {
+		e.lane.Begin(fmt.Sprintf("objective #%d", e.calls))
+		defer e.lane.End()
+	}
 	nf := len(e.files)
 	assignment := e.assignment
 	ranks := e.cfg.Ranks
 	var globalErr, globalTime []float64
 	for {
 		ge, gt, rep, solveErr := e.runCall(k, assignment, ranks, m, nf)
+		for _, st := range rep.States {
+			e.met.mpiWaitSec.Add(float64(st.WaitNs) / 1e9)
+		}
 		if solveErr != nil {
 			return solveErr
 		}
@@ -297,34 +394,47 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 		e.recMu.Lock()
 		if rep.WatchdogFired {
 			e.recovery.WatchdogTrips++
+			e.met.watchdogTrips.Inc()
 		}
 		e.recovery.RankFailures += len(dead)
 		e.recovery.RerunCalls++
 		e.recMu.Unlock()
+		e.met.rankFailures.Add(int64(len(dead)))
+		e.met.rerunCalls.Inc()
 		// Shrink and retry: survivors cover every file; LPT over the
 		// last known per-file costs keeps the re-run balanced.
 		ranks -= len(dead)
 		assignment = AssignLPT(e.lastTimes, ranks)
+		if e.lane != nil {
+			e.lane.Instant(fmt.Sprintf("rank recovery (shrink to %d)", ranks))
+		}
 	}
 	copy(residual, globalErr)
 	copy(e.lastTimes, globalTime)
 	e.calls++
 	e.wallSeconds += time.Since(start).Seconds()
+	e.met.objectives.Inc()
 	// Modeled parallel work: the slowest rank's total.
 	worst := 0.0
+	total := 0.0
 	for _, files := range assignment {
 		s := 0.0
 		for _, fi := range files {
 			s += globalTime[fi]
 		}
+		total += s
 		if s > worst {
 			worst = s
 		}
 	}
 	e.modelOps += worst
+	if mean := total / float64(len(assignment)); mean > 0 {
+		e.met.imbalance.Set(worst / mean)
+	}
 	// Apply the dynamic load balancing algorithm for the next call.
 	if e.cfg.LoadBalance {
 		e.assignment = AssignLPT(globalTime, e.cfg.Ranks)
+		e.lane.Instant("rebalance (LPT)")
 	}
 	return nil
 }
@@ -339,7 +449,7 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 	var errMu sync.Mutex
 	var firstErr error
 	call := e.calls
-	cfg := mpi.RunConfig{Watchdog: e.cfg.Watchdog, Hook: e.cfg.Hook}
+	cfg := mpi.RunConfig{Watchdog: e.cfg.Watchdog, Hook: e.cfg.Hook, Trace: e.cfg.Trace}
 	rep := mpi.RunErr(ranks, cfg, func(c *mpi.Comm) error {
 		localErr := make([]float64, m)
 		localTime := make([]float64, nf)
@@ -348,23 +458,32 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 			scratch = make([]float64, m)
 		}
 		ev := e.model.Prog.NewEvaluator()
+		ev.Observe(e.cfg.Metrics)
 		var pool *parallel.Pool
 		if e.pools != nil {
 			pool = e.pools[c.Rank()]
 			ev.SetParallel(pool)
 		}
+		lane := c.Lane()
 		for _, fi := range assignment[c.Rank()] {
+			if lane != nil {
+				lane.Begin("solve " + e.files[fi].Name)
+			}
 			if e.cfg.FaultTolerant {
 				st, retries, penalized := e.solveFileFT(ev, pool, e.files[fi], k, scratch, localErr, call, c.Rank(), fi)
 				localTime[fi] = e.workOps(st)
+				e.publishSolve(st)
+				e.met.retries.Add(int64(retries))
 				if retries > 0 || penalized {
 					e.recMu.Lock()
 					e.recovery.Retries += retries
 					if penalized {
 						e.recovery.PenalizedFiles++
+						e.met.penalized.Inc()
 					}
 					e.recMu.Unlock()
 				}
+				lane.End()
 				continue
 			}
 			var st ode.Stats
@@ -383,6 +502,8 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 				errMu.Unlock()
 			}
 			localTime[fi] = e.workOps(st)
+			e.publishSolve(st)
+			lane.End()
 		}
 		ge := c.AllReduce(localErr, mpi.SumOp)
 		gt := c.AllReduce(localTime, mpi.SumOp)
@@ -405,6 +526,17 @@ func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dat
 	n := e.model.Prog.NumY
 	y := make([]float64, n)
 	copy(y, e.model.Y0)
+	if e.cfg.Metrics != nil {
+		// Feed the per-step event stream into the step-size histogram,
+		// chaining any observer the model itself installed.
+		met, prev := &e.met, opts.Observer
+		opts.Observer = func(sev ode.StepEvent) {
+			met.stepSize.Observe(math.Abs(sev.H))
+			if prev != nil {
+				prev(sev)
+			}
+		}
+	}
 	rhs := func(_ float64, yy, dy []float64) {
 		ev.Eval(yy, k, dy)
 	}

@@ -29,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rms/internal/telemetry"
 )
 
 // DefaultWatchdog is the hang-protection window used by Run (RunErr uses
@@ -72,6 +74,12 @@ type RunConfig struct {
 	// Hook, when non-nil, is consulted at every collective entry (fault
 	// injection; see package faults).
 	Hook Hook
+	// Trace, when non-nil, gives every rank a telemetry lane named
+	// "rank N" (reused across runs of equal rank) and records a span for
+	// each blocking runtime wait — collectives, blocked sends and
+	// receives — so a Chrome trace shows per-rank wait-time gaps and the
+	// text summary attributes communicator imbalance.
+	Trace *telemetry.Tracer
 }
 
 // RankState is one rank's state in a RunReport: the live snapshot taken
@@ -89,6 +97,19 @@ type RankState struct {
 	Done bool
 	// Collectives counts the collectives the rank completed.
 	Collectives int
+	// LastCollective names the most recently *completed* collective
+	// ("AllReduce #3"; empty before the first). In a deadlock dump it
+	// pins where each rank's protocol sequence diverged — the blocked
+	// rank whose LastCollective trails its peers is the one that took a
+	// different path.
+	LastCollective string
+	// LastDoneNs is the telemetry-clock timestamp (telemetry.Now) at
+	// which LastCollective completed; 0 before the first completion.
+	LastDoneNs int64
+	// WaitNs is the total time the rank has spent blocked inside runtime
+	// primitives — the per-rank wait attribution that quantifies
+	// communicator imbalance.
+	WaitNs int64
 }
 
 // RunReport is RunErr's per-rank outcome.
@@ -146,12 +167,19 @@ func (r *RunReport) Err() error {
 }
 
 // DumpString renders the per-rank state dump, one rank per line — the
-// diagnostic attached to watchdog aborts.
+// diagnostic attached to watchdog aborts. Each line carries the rank's
+// last completed collective and its telemetry-clock timestamp, so a
+// deadlock dump shows exactly where and when each rank's protocol
+// sequence stopped advancing.
 func (r *RunReport) DumpString() string {
 	var b []byte
 	for _, st := range r.States {
-		b = fmt.Appendf(b, "rank %d: %s (collectives done %d)\n",
-			st.Rank, st.Phase, st.Collectives)
+		last := "none"
+		if st.LastCollective != "" {
+			last = fmt.Sprintf("%s at +%.3fs", st.LastCollective, float64(st.LastDoneNs)/1e9)
+		}
+		b = fmt.Appendf(b, "rank %d: %s (collectives done %d, last %s, waited %.3fs)\n",
+			st.Rank, st.Phase, st.Collectives, last, float64(st.WaitNs)/1e9)
 	}
 	return string(b)
 }
@@ -189,6 +217,15 @@ type rankState struct {
 	stalled     bool
 	done        bool
 	collectives int
+	// lastName/lastSeq/lastDoneNs identify the most recently completed
+	// collective and when (telemetry clock) it finished.
+	lastName   string
+	lastSeq    int
+	lastDoneNs int64
+	// waitNs accumulates completed blocking time; waitStart is the entry
+	// timestamp of the wait in flight (0 when not waiting).
+	waitNs    int64
+	waitStart int64
 }
 
 type world struct {
@@ -204,6 +241,9 @@ type world struct {
 	deadOnce sync.Once
 
 	hook Hook
+	// lanes has one telemetry lane per rank; entries are nil (no-op)
+	// unless the run was configured with a Tracer.
+	lanes []*telemetry.Lane
 	// activity counts runtime events (blocking-point entries/exits,
 	// message transfers); the watchdog watches it for progress.
 	activity      atomic.Int64
@@ -275,10 +315,16 @@ func RunErr(size int, cfg RunConfig, fn func(c *Comm) error) *RunReport {
 	w.up = make([]chan any, size)
 	w.down = make([]chan any, size)
 	w.states = make([]*rankState, size)
+	w.lanes = make([]*telemetry.Lane, size)
 	for i := 0; i < size; i++ {
 		w.up[i] = make(chan any, 1)
 		w.down[i] = make(chan any, 1)
 		w.states[i] = &rankState{phase: "running"}
+		if cfg.Trace != nil {
+			// Lanes are keyed by name, so shrink-and-retry reruns reuse
+			// one timeline row per rank instead of sprouting new ones.
+			w.lanes[i] = cfg.Trace.Lane(fmt.Sprintf("rank %d", i))
+		}
 	}
 	w.dead = make(chan struct{})
 
@@ -401,6 +447,7 @@ func (w *world) deadlocked() bool {
 }
 
 func (w *world) snapshot() []RankState {
+	now := telemetry.Now()
 	out := make([]RankState, w.size)
 	for r, st := range w.states {
 		st.mu.Lock()
@@ -411,32 +458,58 @@ func (w *world) snapshot() []RankState {
 			Stalled:     st.stalled,
 			Done:        st.done,
 			Collectives: st.collectives,
+			LastDoneNs:  st.lastDoneNs,
+			WaitNs:      st.waitNs,
+		}
+		if st.lastName != "" {
+			out[r].LastCollective = fmt.Sprintf("%s #%d", st.lastName, st.lastSeq)
+		}
+		if st.waiting && st.waitStart > 0 {
+			// Charge the wait in flight so a deadlock dump shows how long
+			// each rank has already been stuck, not just completed waits.
+			out[r].WaitNs += now - st.waitStart
 		}
 		st.mu.Unlock()
 	}
 	return out
 }
 
-func (w *world) enterWait(rank int, phase string) {
+// enterWait marks the rank blocked inside a runtime primitive. phase is
+// the seq-numbered label for state dumps; span is the bare name ("Send",
+// "AllReduce") under which the telemetry lane aggregates wait time.
+func (w *world) enterWait(rank int, phase, span string) {
 	st := w.states[rank]
 	st.mu.Lock()
 	st.phase = phase
 	st.waiting = true
+	st.waitStart = telemetry.Now()
 	st.mu.Unlock()
 	w.activity.Add(1)
+	w.lanes[rank].Begin(span)
 }
 
 func (w *world) leaveWait(rank int) {
+	w.lanes[rank].End()
 	st := w.states[rank]
 	st.mu.Lock()
 	st.phase = "running"
 	st.waiting = false
+	if st.waitStart > 0 {
+		st.waitNs += telemetry.Now() - st.waitStart
+		st.waitStart = 0
+	}
 	st.mu.Unlock()
 	w.activity.Add(1)
 }
 
 // Rank returns this rank's id in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
+
+// Lane returns this rank's telemetry lane (nil unless the run was
+// configured with a Tracer), letting rank code record application-level
+// spans — per-file solves, say — on the same timeline row as the
+// runtime's wait spans.
+func (c *Comm) Lane() *telemetry.Lane { return c.world.lanes[c.rank] }
 
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.world.size }
@@ -462,7 +535,7 @@ func (c *Comm) Send(to int, data any) {
 		return
 	default:
 	}
-	w.enterWait(c.rank, fmt.Sprintf("Send(to=%d)", to))
+	w.enterWait(c.rank, fmt.Sprintf("Send(to=%d)", to), "Send")
 	select {
 	case w.ch[c.rank][to] <- data:
 		w.leaveWait(c.rank)
@@ -485,7 +558,7 @@ func (c *Comm) Recv(from int) any {
 		return v
 	default:
 	}
-	w.enterWait(c.rank, fmt.Sprintf("Recv(from=%d)", from))
+	w.enterWait(c.rank, fmt.Sprintf("Recv(from=%d)", from), "Recv")
 	select {
 	case v := <-w.ch[from][c.rank]:
 		w.leaveWait(c.rank)
@@ -514,13 +587,17 @@ func (c *Comm) collect(name string, local any, f func(all []any) any) any {
 			st.phase = fmt.Sprintf("stalled before %s #%d (injected)", name, seq)
 			st.waiting = true
 			st.stalled = true
+			st.waitStart = telemetry.Now()
 			st.mu.Unlock()
 			w.activity.Add(1)
+			// The span is never ended; trace export closes it, so the
+			// stall shows as a wait stretching to the communicator's death.
+			w.lanes[c.rank].Begin("stall (injected)")
 			<-w.dead
 			panic(stallError{seq: seq})
 		}
 	}
-	w.enterWait(c.rank, fmt.Sprintf("%s #%d", name, seq))
+	w.enterWait(c.rank, fmt.Sprintf("%s #%d", name, seq), name)
 	var out any
 	if c.rank == 0 {
 		all := make([]any, w.size)
@@ -561,6 +638,9 @@ func (c *Comm) collect(name string, local any, f func(all []any) any) any {
 	w.leaveWait(c.rank)
 	st.mu.Lock()
 	st.collectives++
+	st.lastName = name
+	st.lastSeq = seq
+	st.lastDoneNs = telemetry.Now()
 	st.mu.Unlock()
 	return out
 }

@@ -47,6 +47,31 @@ type Options struct {
 	// stores it (with the final residuals) in the Result, for the
 	// statistical analysis step (package stats).
 	KeepJacobian bool
+	// Observer, when non-nil, receives one IterEvent after each outer
+	// iteration — the damping, residual norm and trial accounting a live
+	// fit monitor displays. The callback runs on the optimizer's
+	// goroutine; keep it cheap.
+	Observer func(IterEvent)
+}
+
+// IterEvent is one outer Levenberg–Marquardt iteration's telemetry
+// record.
+type IterEvent struct {
+	// Iter is the 1-based outer iteration number.
+	Iter int
+	// Lambda is the damping parameter after the iteration's trial loop.
+	Lambda float64
+	// RNorm is ‖r‖₂ after the iteration (unchanged when no trial was
+	// accepted).
+	RNorm float64
+	// Improved reports whether some trial point was accepted.
+	Improved bool
+	// Trials counts the damped trial points evaluated; NonFiniteTrials
+	// the subset whose residuals came back NaN/Inf (fault regions).
+	Trials, NonFiniteTrials int
+	// FreeVars is the number of variables off their bounds this
+	// iteration.
+	FreeVars int
 }
 
 // Result reports the optimization outcome.
@@ -140,6 +165,16 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 	rNorm := linalg.Norm2(r)
 	lambda := opts.InitialLambda
 
+	emit := func(improved bool, trials, nonFinite, freeVars int) {
+		if opts.Observer != nil {
+			opts.Observer(IterEvent{
+				Iter: res.Iterations, Lambda: lambda, RNorm: rNorm,
+				Improved: improved, Trials: trials,
+				NonFiniteTrials: nonFinite, FreeVars: freeVars,
+			})
+		}
+	}
+
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		res.Iterations = iter + 1
 		if opts.RecordHistory {
@@ -164,6 +199,7 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 		free := free(x, grad, lower, upper, res.Active)
 		if len(free) == 0 {
 			res.Converged = true
+			emit(false, 0, 0, 0)
 			break
 		}
 		// Projected-gradient convergence test.
@@ -175,11 +211,13 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 		}
 		if pg <= opts.Tol*math.Max(1, rNorm) {
 			res.Converged = true
+			emit(false, 0, 0, len(free))
 			break
 		}
 
 		improved := false
 		sawNonFinite := false
+		trials, nonFiniteTrials := 0, 0
 		for inner := 0; inner < 30; inner++ {
 			delta, err := solveDamped(jac, r, grad, free, lambda)
 			if err != nil {
@@ -195,12 +233,14 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 				return nil, fmt.Errorf("nlopt: residual at trial point: %w", err)
 			}
 			res.FEvals++
+			trials++
 			if !allFinite(rTrial) {
 				// The trial point broke the residual computation (for ODE
 				// objectives: the solver blew up there). Treat it as worse
 				// than the current point — grow the damping toward a
 				// shorter step — and keep NaN away from the accept test.
 				sawNonFinite = true
+				nonFiniteTrials++
 				lambda *= 4
 				if lambda > 1e12 {
 					break
@@ -231,6 +271,7 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 				break
 			}
 		}
+		emit(improved, trials, nonFiniteTrials, len(free))
 		if !improved || res.Converged {
 			// A stall in a damped local minimum is convergence — unless the
 			// stall came from non-finite trial residuals, which is a fault

@@ -162,10 +162,21 @@ func (s *BDF) Integrate(t0, t1 float64, y []float64) error {
 			s.initialized = false
 			return errWrap(ErrTooManySteps, s.tInt)
 		}
+		tStep, hStep, orderStep := s.tInt, s.h, s.order
+		preNewton, preFactor := s.stats.NewtonIters, s.stats.Factorizations
 		accepted, errNorm, err := s.attemptStep(s.tInt, o)
 		if err != nil {
 			s.initialized = false
 			return errWrap(err, s.tInt)
+		}
+		if o.Observer != nil {
+			o.Observer(StepEvent{
+				T: tStep, H: hStep, Order: orderStep,
+				Accepted: accepted, ErrNorm: errNorm,
+				NewtonIters:    s.stats.NewtonIters - preNewton,
+				Factorizations: s.stats.Factorizations - preFactor,
+				Sparse:         s.sparse,
+			})
 		}
 		if accepted {
 			s.tInt += s.h

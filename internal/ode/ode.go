@@ -66,7 +66,34 @@ type Options struct {
 	// SparseMinDim is the minimum dimension for the sparse path
 	// (default 20).
 	SparseMinDim int
+	// Observer, when non-nil, receives one StepEvent per adaptive step
+	// attempt — accepted or rejected — with the step's size, order,
+	// error-norm and Newton/factorization work. Fixed-step testing modes
+	// do not emit events. The callback runs on the solver's goroutine;
+	// keep it cheap.
+	Observer StepObserver
 }
+
+// StepEvent is one adaptive step attempt's telemetry record.
+type StepEvent struct {
+	// T is the internal time the attempt started from; H the attempted
+	// step size (signed).
+	T, H float64
+	// Order is the method order of the attempt (BDF 1–5; RKV65 always 6).
+	Order int
+	// Accepted reports whether error control accepted the step.
+	Accepted bool
+	// ErrNorm is the weighted local error estimate (≤ 1 on accepts).
+	ErrNorm float64
+	// NewtonIters and Factorizations count the corrector work of this
+	// attempt (0 for explicit solvers).
+	NewtonIters, Factorizations int
+	// Sparse reports the attempt ran the sparse Newton path.
+	Sparse bool
+}
+
+// StepObserver consumes per-step solver telemetry.
+type StepObserver func(StepEvent)
 
 func (o Options) withDefaults(t0, t1 float64) Options {
 	span := math.Abs(t1 - t0)

@@ -86,6 +86,9 @@ func (s *RKV65) Integrate(t0, t1 float64, y []float64) error {
 			continue
 		}
 		errNorm := weightedNorm(s.yerr, y, s.ynew, o.ATol, o.RTol)
+		if o.Observer != nil {
+			o.Observer(StepEvent{T: t, H: h, Order: 6, Accepted: errNorm <= 1, ErrNorm: errNorm})
+		}
 		if errNorm <= 1 {
 			copy(y, s.ynew)
 			t += h

@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"rms/internal/telemetry"
 )
 
 // Pool is a fixed-size set of persistent workers. Dispatches are
@@ -26,6 +28,21 @@ type Pool struct {
 	mu      sync.Mutex
 	jobs    []chan poolJob // one per helper goroutine (workers-1)
 	closed  bool
+
+	// Telemetry counters (nil — free no-ops — unless Observe was called).
+	telDispatches *telemetry.Counter
+	telTasks      *telemetry.Counter
+}
+
+// Observe publishes the pool's activity into reg: Do/Run dispatches and
+// individual Run tasks. A nil registry (or nil pool) detaches. Wire-up
+// only: call before the pool starts dispatching.
+func (p *Pool) Observe(reg *telemetry.Registry) {
+	if p == nil {
+		return
+	}
+	p.telDispatches = reg.Counter("pool.dispatches")
+	p.telTasks = reg.Counter("pool.tasks")
 }
 
 type poolJob struct {
@@ -75,6 +92,7 @@ func (p *Pool) Do(fn func(worker int)) {
 		fn(0)
 		return
 	}
+	p.telDispatches.Inc()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -96,6 +114,9 @@ func (p *Pool) Do(fn func(worker int)) {
 func (p *Pool) Run(tasks int, fn func(task int)) {
 	if tasks <= 0 {
 		return
+	}
+	if p != nil {
+		p.telTasks.Add(int64(tasks))
 	}
 	if p == nil || p.workers <= 1 || tasks == 1 {
 		for t := 0; t < tasks; t++ {

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLI bundles the observability flag values shared by the rms
+// command-line tools (-trace, -metrics, -pprof, -cpuprofile). The zero
+// value arms nothing: Setup then returns nil instruments — free no-ops
+// throughout the pipeline — and a finish function that does nothing.
+type CLI struct {
+	TracePath  string    // -trace: Chrome trace-event output file
+	Metrics    bool      // -metrics: print the registry at exit
+	PprofAddr  string    // -pprof: serve net/http/pprof on this address
+	CPUProfile string    // -cpuprofile: write a CPU profile to this file
+	Out        io.Writer // span summary + metrics destination (default os.Stdout)
+}
+
+// Setup arms the configured instruments. It returns the tracer and
+// registry (nil when the corresponding flag is off) and a finish
+// function that writes the trace file, prints the span summary and
+// metrics to c.Out, and stops the CPU profile and pprof server. finish
+// must be called exactly once, at the end of the run.
+func (c CLI) Setup() (*Tracer, *Registry, func() error, error) {
+	out := c.Out
+	if out == nil {
+		out = os.Stdout
+	}
+	var tracer *Tracer
+	var reg *Registry
+	if c.TracePath != "" {
+		tracer = NewTracer()
+	}
+	if c.Metrics {
+		reg = NewRegistry()
+	}
+	var stopProfile func() error
+	var stopPprof func()
+	if c.PprofAddr != "" {
+		stop, err := ServePprof(c.PprofAddr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		stopPprof = stop
+		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", c.PprofAddr)
+	}
+	if c.CPUProfile != "" {
+		stop, err := StartCPUProfile(c.CPUProfile)
+		if err != nil {
+			if stopPprof != nil {
+				stopPprof()
+			}
+			return nil, nil, nil, err
+		}
+		stopProfile = stop
+	}
+	finish := func() error {
+		if stopPprof != nil {
+			stopPprof()
+		}
+		if stopProfile != nil {
+			if err := stopProfile(); err != nil {
+				return err
+			}
+		}
+		if tracer != nil {
+			f, err := os.Create(c.TracePath)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			tracer.WriteSummary(out)
+		}
+		if reg != nil {
+			fmt.Fprintln(out, "== metrics")
+			reg.WriteText(out)
+		}
+		return nil
+	}
+	return tracer, reg, finish, nil
+}

@@ -1,0 +1,358 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is ready to use; a nil Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// FloatCounter accumulates float64 contributions (solver op counts,
+// seconds) with a compare-and-swap fast path. A nil FloatCounter is a
+// no-op.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v. No-op on a nil counter.
+func (c *FloatCounter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total (0 for nil).
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge holds a last-written float64 value. A nil Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last value set (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets with atomic
+// increments. A nil Histogram is a no-op.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; counts has len+1 cells
+	counts []atomic.Int64 // counts[i] = observations ≤ bounds[i]; last = overflow
+	count  atomic.Int64
+	sum    FloatCounter
+}
+
+// DurationBuckets are the default histogram bounds for nanosecond
+// durations: powers of ten from 1µs to 100s.
+var DurationBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations (0 for nil).
+func (h *Histogram) Sum() float64 { // nil-safe via FloatCounter
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Mean returns the sample mean (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 ≤ q ≤ 1)
+// from the bucket counts: the bound of the bucket holding the q-th
+// sample (+Inf for the overflow bucket).
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// MetricKind tags a snapshot entry.
+type MetricKind string
+
+// The snapshot kinds.
+const (
+	KindCounter   MetricKind = "counter"
+	KindGauge     MetricKind = "gauge"
+	KindHistogram MetricKind = "histogram"
+)
+
+// MetricValue is one registry entry at snapshot time.
+type MetricValue struct {
+	Name string     `json:"name"`
+	Kind MetricKind `json:"kind"`
+	// Value is the counter total, the gauge value, or the histogram sum.
+	Value float64 `json:"value"`
+	// Count is the histogram observation count (0 otherwise).
+	Count int64 `json:"count,omitempty"`
+	// Mean and P90 summarize histograms (0 otherwise).
+	Mean float64 `json:"mean,omitempty"`
+	P90  float64 `json:"p90,omitempty"`
+}
+
+// Registry names and owns metrics. Lookup is mutex-guarded and intended
+// for wiring time; callers keep the returned pointers and hit only the
+// atomic fast paths afterwards. A nil Registry returns nil metrics, so
+// an entire instrumented call tree degrades to no-ops without branches
+// beyond the metrics' own nil checks.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string
+	kinds  map[string]MetricKind
+	ctrs   map[string]*Counter
+	floats map[string]*FloatCounter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:  make(map[string]MetricKind),
+		ctrs:   make(map[string]*Counter),
+		floats: make(map[string]*FloatCounter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) note(name string, kind MetricKind) {
+	if _, ok := r.kinds[name]; !ok {
+		r.kinds[name] = kind
+		r.order = append(r.order, name)
+	}
+}
+
+// Counter returns the named counter, creating it on first use
+// (nil registry → nil counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+		r.note(name, KindCounter)
+	}
+	return c
+}
+
+// FloatCounter returns the named float counter, creating it on first use
+// (nil registry → nil counter).
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.floats[name]
+	if !ok {
+		c = &FloatCounter{}
+		r.floats[name] = c
+		r.note(name, KindCounter)
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use
+// (nil registry → nil gauge).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.note(name, KindGauge)
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (nil bounds → DurationBuckets; nil registry
+// → nil histogram).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DurationBuckets
+		}
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		r.hists[name] = h
+		r.note(name, KindHistogram)
+	}
+	return h
+}
+
+// Snapshot returns every metric's current value, sorted by name. Safe to
+// call concurrently with updates (values are read atomically). A nil
+// registry snapshots empty.
+func (r *Registry) Snapshot() []MetricValue {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	sort.Strings(names)
+	out := make([]MetricValue, 0, len(names))
+	for _, name := range names {
+		r.mu.Lock()
+		kind := r.kinds[name]
+		c, fc, g, h := r.ctrs[name], r.floats[name], r.gauges[name], r.hists[name]
+		r.mu.Unlock()
+		mv := MetricValue{Name: name, Kind: kind}
+		switch {
+		case c != nil:
+			mv.Value = float64(c.Value())
+		case fc != nil:
+			mv.Value = fc.Value()
+		case g != nil:
+			mv.Value = g.Value()
+		case h != nil:
+			mv.Value = h.Sum()
+			mv.Count = h.Count()
+			mv.Mean = h.Mean()
+			mv.P90 = h.Quantile(0.9)
+		}
+		out = append(out, mv)
+	}
+	return out
+}
+
+// WriteText renders the snapshot as an aligned plain-text table, the
+// -metrics output of the cmd tools. A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) {
+	snap := r.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	width := 0
+	for _, mv := range snap {
+		if len(mv.Name) > width {
+			width = len(mv.Name)
+		}
+	}
+	for _, mv := range snap {
+		switch mv.Kind {
+		case KindHistogram:
+			p90 := "inf"
+			if !math.IsInf(mv.P90, 1) {
+				p90 = fmtNum(mv.P90)
+			}
+			fmt.Fprintf(w, "%-*s  count=%d mean=%s p90≤%s sum=%s\n",
+				width, mv.Name, mv.Count, fmtNum(mv.Mean), p90, fmtNum(mv.Value))
+		default:
+			fmt.Fprintf(w, "%-*s  %s\n", width, mv.Name, fmtNum(mv.Value))
+		}
+	}
+}
+
+// fmtNum renders a metric value compactly: integers without decimals,
+// everything else with engineering-friendly precision.
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}

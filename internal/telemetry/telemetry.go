@@ -1,0 +1,32 @@
+// Package telemetry is the suite's unified observability layer: a
+// lock-cheap metrics registry (counters, gauges, histograms with atomic
+// fast paths), span-based tracing with Chrome trace-event export and a
+// hierarchical text summary, and opt-in pprof capture. Every pipeline
+// stage — the chemical compiler, the ODE solvers, the LM optimizer, the
+// parallel estimator and the simulated MPI runtime — publishes into it,
+// so the quantities the paper measures (Table 1's op counts and
+// speedups, Table 2's per-rank load balance) are visible through one
+// consistent view instead of ad-hoc per-package counters.
+//
+// The layer is zero-overhead when disabled. Every type is nil-safe:
+// a nil *Counter, *Gauge, *Histogram, *Registry, *Tracer or *Lane
+// accepts its full method set as a no-op, without allocating. Code under
+// instrumentation therefore holds plain pointers that are nil until an
+// operator passes -trace or -metrics, and the hot paths pay one
+// predictable nil-check branch (see BenchmarkDisabled* in this package
+// and the acceptance benchmark in bench_test.go).
+//
+// All timestamps share one process-wide monotonic clock (Now), so trace
+// events, metrics snapshots and the MPI watchdog's deadlock dumps
+// correlate directly.
+package telemetry
+
+import "time"
+
+// epoch anchors the process-wide monotonic clock.
+var epoch = time.Now()
+
+// Now returns nanoseconds since the telemetry epoch (process start).
+// It is the single clock behind trace timestamps and the MPI runtime's
+// last-collective records, so the two correlate exactly.
+func Now() int64 { return int64(time.Since(epoch)) }

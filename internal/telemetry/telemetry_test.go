@@ -1,0 +1,365 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeFloat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+	fc := r.FloatCounter("a.ops")
+	fc.Add(1.5)
+	fc.Add(2.25)
+	if got := fc.Value(); got != 3.75 {
+		t.Errorf("float counter = %v, want 3.75", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 560.5 {
+		t.Errorf("sum = %v, want 560.5", h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %v, want bucket bound 10", q)
+	}
+	if q := h.Quantile(1); !math.IsInf(q, 1) {
+		t.Errorf("p100 = %v, want +Inf (overflow bucket)", q)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// The entire disabled path: nil registry hands out nil metrics, nil
+	// tracer hands out nil lanes, and every method is a no-op.
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(1)
+	c.Inc()
+	r.Gauge("x").Set(1)
+	r.FloatCounter("x").Add(1)
+	r.Histogram("x", nil).Observe(1)
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v", got)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+
+	var tr *Tracer
+	l := tr.Lane("main")
+	l.Begin("work")
+	l.End()
+	l.Record("ext", 0, 1)
+	l.Instant("mark")
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr.WriteSummary(&buf)
+	if tr.Coverage() != 0 {
+		t.Error("nil tracer coverage != 0")
+	}
+}
+
+// TestRegistryConcurrent is the -race stress test of the ISSUE's test
+// checklist: concurrent metric writes in the access pattern of the real
+// pipeline — pool workers and MPI ranks hammering shared counters,
+// histograms and gauges while a reader snapshots.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 16
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the writers re-look-up by name (wiring path), half keep
+			// the pointer (fast path), mirroring real call sites.
+			c := r.Counter("shared.count")
+			f := r.FloatCounter("shared.ops")
+			h := r.Histogram("shared.hist", nil)
+			for i := 0; i < rounds; i++ {
+				if w%2 == 0 {
+					r.Counter("shared.count").Inc()
+				} else {
+					c.Inc()
+				}
+				f.Add(0.5)
+				h.Observe(float64(i % 7))
+				r.Gauge(fmt.Sprintf("rank%d.gauge", w%4)).Set(float64(i))
+				r.Counter(fmt.Sprintf("rank%d.count", w%4)).Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+			var buf bytes.Buffer
+			r.WriteText(&buf)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("shared.count").Value(); got != writers*rounds {
+		t.Errorf("shared.count = %d, want %d", got, writers*rounds)
+	}
+	if got := r.FloatCounter("shared.ops").Value(); got != writers*rounds/2 {
+		t.Errorf("shared.ops = %v, want %v", got, writers*rounds/2)
+	}
+	if got := r.Histogram("shared.hist", nil).Count(); got != writers*rounds {
+		t.Errorf("shared.hist count = %d, want %d", got, writers*rounds)
+	}
+}
+
+// TestTracerConcurrentLanes races many single-goroutine lanes against a
+// concurrent exporter, the MPI-rank usage pattern.
+func TestTracerConcurrentLanes(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for rank := 0; rank < 8; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			l := tr.Lane(fmt.Sprintf("rank %d", rank))
+			for i := 0; i < 500; i++ {
+				l.Begin("solve")
+				l.Begin("newton")
+				l.End()
+				l.End()
+				l.Instant("mark")
+			}
+		}(rank)
+	}
+	var wgExp sync.WaitGroup
+	wgExp.Add(1)
+	go func() {
+		defer wgExp.Done()
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			if err := tr.WriteChromeTrace(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			tr.WriteSummary(&buf)
+		}
+	}()
+	wg.Wait()
+	wgExp.Wait()
+}
+
+// chromeFile mirrors the trace-event JSON container.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// TestChromeTraceWellFormed is the golden-file check of the ISSUE's test
+// checklist: the exported trace parses as Chrome trace-event JSON, every
+// lane carries thread metadata, and complete events nest correctly (any
+// two spans of one lane are disjoint or contained — never partially
+// overlapping).
+func TestChromeTraceWellFormed(t *testing.T) {
+	tr := NewTracer()
+	main := tr.Lane("main")
+	main.Begin("compile")
+	main.Begin("optimize")
+	main.End()
+	main.Begin("codegen")
+	main.End()
+	main.End()
+	main.Begin("estimate")
+	for rank := 0; rank < 3; rank++ {
+		l := tr.Lane(fmt.Sprintf("rank %d", rank))
+		for call := 0; call < 2; call++ {
+			l.Begin(fmt.Sprintf("objective #%d", call))
+			l.Begin("solve exp01")
+			l.End()
+			l.Begin("AllReduce #0")
+			l.End()
+			l.End()
+			l.Instant("rebalance")
+		}
+	}
+	main.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var cf chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &cf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(cf.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	threadNames := map[int]bool{}
+	byLane := map[int][]struct{ start, end float64 }{}
+	for _, ev := range cf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames[ev.Tid] = true
+			}
+		case "X":
+			if ev.Name == "" {
+				t.Error("unnamed X event")
+			}
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Errorf("negative ts/dur on %q: ts=%v dur=%v", ev.Name, ev.Ts, ev.Dur)
+			}
+			byLane[ev.Tid] = append(byLane[ev.Tid], struct{ start, end float64 }{ev.Ts, ev.Ts + ev.Dur})
+		case "i":
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if len(byLane) != 4 { // main + 3 ranks
+		t.Errorf("lanes with spans = %d, want 4", len(byLane))
+	}
+	for tid, spans := range byLane {
+		if !threadNames[tid] {
+			t.Errorf("lane %d has spans but no thread_name metadata", tid)
+		}
+		for i := 0; i < len(spans); i++ {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				disjoint := a.end <= b.start || b.end <= a.start
+				contained := (a.start <= b.start && b.end <= a.end) ||
+					(b.start <= a.start && a.end <= b.end)
+				if !disjoint && !contained {
+					t.Errorf("lane %d: spans [%v,%v] and [%v,%v] partially overlap",
+						tid, a.start, a.end, b.start, b.end)
+				}
+			}
+		}
+	}
+}
+
+func TestSummaryAndCoverage(t *testing.T) {
+	tr := NewTracer()
+	main := tr.Lane("main")
+	main.Begin("all")
+	main.Begin("phase1")
+	busyWait()
+	main.End()
+	main.Begin("phase2")
+	busyWait()
+	main.End()
+	main.End()
+	cov := tr.Coverage()
+	if cov < 0.95 || cov > 1.0001 {
+		t.Errorf("coverage = %v, want ≈1 (root span wraps everything)", cov)
+	}
+	var buf bytes.Buffer
+	tr.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"span summary", "lane main", "all", "phase1", "phase2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpenSpansCloseAtExport(t *testing.T) {
+	tr := NewTracer()
+	l := tr.Lane("rank 0")
+	l.Begin("stuck AllReduce") // never ended: an aborted rank
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var cf chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &cf); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range cf.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "stuck AllReduce" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("open span missing from export")
+	}
+}
+
+// busyWait burns a few milliseconds of real time so span widths dwarf
+// the tracer's own bookkeeping (Coverage is a ratio of real times).
+func busyWait() {
+	s := 0.0
+	for i := 0; i < 2_000_000; i++ {
+		s += math.Sqrt(float64(i))
+	}
+	_ = s
+}
+
+// BenchmarkDisabledSpan proves the acceptance criterion: with telemetry
+// off (nil lane), a Begin/End pair costs a branch and allocates nothing.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var l *Lane
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Begin("solve")
+		l.End()
+	}
+}
+
+// BenchmarkDisabledMetrics proves the nil-sink metrics fast path is
+// allocation-free.
+func BenchmarkDisabledMetrics(b *testing.B) {
+	var c *Counter
+	var f *FloatCounter
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		f.Add(1.5)
+		h.Observe(3)
+	}
+}
+
+// BenchmarkEnabledCounter measures the enabled atomic fast path.
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

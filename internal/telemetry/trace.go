@@ -1,0 +1,354 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tracer records spans across a set of lanes and exports them as a
+// Chrome trace-event file (chrome://tracing / Perfetto loadable) or a
+// hierarchical plain-text timing summary. One lane maps to one Chrome
+// "thread" row — the cmd tools use the first lane for the main pipeline
+// and one lane per simulated MPI rank, so collective wait time shows up
+// as per-rank span gaps exactly like an MPI timeline viewer.
+//
+// A nil Tracer hands out nil lanes, and every Lane method is a nil-safe
+// no-op, so instrumented code pays nothing when tracing is off.
+type Tracer struct {
+	start  int64
+	mu     sync.Mutex
+	lanes  []*Lane
+	byName map[string]*Lane
+}
+
+// NewTracer returns a tracer whose wall-time window starts now.
+func NewTracer() *Tracer {
+	return &Tracer{start: Now(), byName: make(map[string]*Lane)}
+}
+
+// Lane returns the lane with the given name, creating it on first use.
+// Lanes are identified by name so repeated communicator runs reuse one
+// timeline row per rank. A lane must not be used from two goroutines at
+// once; distinct lanes are independent. Nil tracer → nil lane.
+func (t *Tracer) Lane(name string) *Lane {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.byName[name]; ok {
+		return l
+	}
+	l := &Lane{tr: t, id: len(t.lanes), name: name}
+	t.lanes = append(t.lanes, l)
+	t.byName[name] = l
+	return l
+}
+
+// Span is one completed trace interval.
+type Span struct {
+	Name       string
+	Start, End int64 // telemetry.Now clock, nanoseconds
+	Depth      int   // nesting depth within the lane at Begin time
+}
+
+type openSpan struct {
+	name  string
+	start int64
+}
+
+type instant struct {
+	name string
+	ts   int64
+}
+
+// Lane is a single timeline row. Begin/End nest; Record appends an
+// externally-timed completed span; Instant marks a point event. The
+// zero-cost disabled path is a nil *Lane.
+type Lane struct {
+	tr   *Tracer
+	id   int
+	name string
+
+	mu       sync.Mutex
+	spans    []Span // completed, appended at End (children before parents)
+	open     []openSpan
+	instants []instant
+}
+
+// Begin opens a span. No-op on a nil lane.
+func (l *Lane) Begin(name string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.open = append(l.open, openSpan{name: name, start: Now()})
+	l.mu.Unlock()
+}
+
+// End closes the innermost open span. No-op on a nil lane or an empty
+// stack.
+func (l *Lane) End() {
+	if l == nil {
+		return
+	}
+	now := Now()
+	l.mu.Lock()
+	if n := len(l.open); n > 0 {
+		o := l.open[n-1]
+		l.open = l.open[:n-1]
+		l.spans = append(l.spans, Span{Name: o.name, Start: o.start, End: now, Depth: n - 1})
+	}
+	l.mu.Unlock()
+}
+
+// Record appends a completed span with caller-supplied timestamps (the
+// telemetry.Now clock), nested under whatever is currently open. No-op
+// on a nil lane.
+func (l *Lane) Record(name string, start, end int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.spans = append(l.spans, Span{Name: name, Start: start, End: end, Depth: len(l.open)})
+	l.mu.Unlock()
+}
+
+// Instant marks a point event (a rebalance decision, a retry). No-op on
+// a nil lane.
+func (l *Lane) Instant(name string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.instants = append(l.instants, instant{name: name, ts: Now()})
+	l.mu.Unlock()
+}
+
+// snapshot returns the lane's spans with any still-open spans closed at
+// ts (export never blocks on in-flight work).
+func (l *Lane) snapshot(ts int64) (spans []Span, inst []instant) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	spans = append(spans, l.spans...)
+	for i, o := range l.open {
+		spans = append(spans, Span{Name: o.name, Start: o.start, End: ts, Depth: i})
+	}
+	inst = append(inst, l.instants...)
+	return spans, inst
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports every lane as Chrome trace-event JSON: one
+// "X" (complete) event per span, one "i" (instant) event per point
+// event, and thread metadata naming and ordering the lanes. Nil tracer
+// writes an empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := []chromeEvent{}
+	if t != nil {
+		now := Now()
+		t.mu.Lock()
+		lanes := append([]*Lane(nil), t.lanes...)
+		t.mu.Unlock()
+		for _, l := range lanes {
+			events = append(events,
+				chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: l.id,
+					Args: map[string]any{"name": l.name}},
+				chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: l.id,
+					Args: map[string]any{"sort_index": l.id}})
+			spans, inst := l.snapshot(now)
+			for _, s := range spans {
+				dur := float64(s.End-s.Start) / 1e3
+				events = append(events, chromeEvent{
+					Name: s.Name, Ph: "X", Ts: float64(s.Start-t.start) / 1e3,
+					Dur: &dur, Pid: 1, Tid: l.id,
+				})
+			}
+			for _, ev := range inst {
+				events = append(events, chromeEvent{
+					Name: ev.name, Ph: "i", Ts: float64(ev.ts-t.start) / 1e3,
+					Pid: 1, Tid: l.id, S: "t",
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// summaryNode is one aggregation bucket of the hierarchical summary:
+// all spans sharing a name path ("estimate/objective #2/AllReduce").
+type summaryNode struct {
+	name     string
+	total    int64
+	count    int
+	children []*summaryNode
+	byName   map[string]*summaryNode
+}
+
+func (n *summaryNode) child(name string) *summaryNode {
+	if n.byName == nil {
+		n.byName = make(map[string]*summaryNode)
+	}
+	c, ok := n.byName[name]
+	if !ok {
+		c = &summaryNode{name: name}
+		n.byName[name] = c
+		n.children = append(n.children, c)
+	}
+	return c
+}
+
+// buildTree aggregates a lane's spans into a name-path tree using
+// interval containment (ties broken by recorded depth).
+func buildTree(spans []Span) *summaryNode {
+	root := &summaryNode{}
+	ordered := append([]Span(nil), spans...)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		if ordered[a].Start != ordered[b].Start {
+			return ordered[a].Start < ordered[b].Start
+		}
+		if ordered[a].End != ordered[b].End {
+			return ordered[a].End > ordered[b].End
+		}
+		return ordered[a].Depth < ordered[b].Depth
+	})
+	type frame struct {
+		node *summaryNode
+		end  int64
+	}
+	stack := []frame{{node: root, end: int64(1) << 62}}
+	for _, s := range ordered {
+		for len(stack) > 1 && s.Start >= stack[len(stack)-1].end {
+			stack = stack[:len(stack)-1]
+		}
+		parent := stack[len(stack)-1].node
+		n := parent.child(s.Name)
+		n.total += s.End - s.Start
+		n.count++
+		stack = append(stack, frame{node: n, end: s.End})
+	}
+	return root
+}
+
+// union returns the total length covered by the spans' union.
+func union(spans []Span) int64 {
+	if len(spans) == 0 {
+		return 0
+	}
+	ordered := append([]Span(nil), spans...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Start < ordered[b].Start })
+	var covered int64
+	curStart, curEnd := ordered[0].Start, ordered[0].End
+	for _, s := range ordered[1:] {
+		if s.Start > curEnd {
+			covered += curEnd - curStart
+			curStart, curEnd = s.Start, s.End
+		} else if s.End > curEnd {
+			curEnd = s.End
+		}
+	}
+	return covered + (curEnd - curStart)
+}
+
+// Coverage reports the fraction of the tracer's wall-time window covered
+// by the first lane's spans — how much of the run the summary attributes
+// to named work. The window runs from tracer start to the last recorded
+// span end. 0 for a nil or empty tracer.
+func (t *Tracer) Coverage() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	lanes := append([]*Lane(nil), t.lanes...)
+	t.mu.Unlock()
+	if len(lanes) == 0 {
+		return 0
+	}
+	now := Now()
+	var last int64
+	for _, l := range lanes {
+		spans, _ := l.snapshot(now)
+		for _, s := range spans {
+			if s.End > last {
+				last = s.End
+			}
+		}
+	}
+	if last <= t.start {
+		return 0
+	}
+	main, _ := lanes[0].snapshot(now)
+	return float64(union(main)) / float64(last-t.start)
+}
+
+// WriteSummary renders the hierarchical timing summary: per lane, every
+// span path with call count, total time and share of the tracer window,
+// plus the overall attribution ratio. Nil tracer writes nothing.
+func (t *Tracer) WriteSummary(w io.Writer) {
+	if t == nil {
+		return
+	}
+	now := Now()
+	t.mu.Lock()
+	lanes := append([]*Lane(nil), t.lanes...)
+	t.mu.Unlock()
+	var last int64
+	type laneDump struct {
+		lane  *Lane
+		spans []Span
+		inst  []instant
+	}
+	dumps := make([]laneDump, 0, len(lanes))
+	for _, l := range lanes {
+		spans, inst := l.snapshot(now)
+		for _, s := range spans {
+			if s.End > last {
+				last = s.End
+			}
+		}
+		dumps = append(dumps, laneDump{lane: l, spans: spans, inst: inst})
+	}
+	wall := last - t.start
+	if wall <= 0 {
+		fmt.Fprintln(w, "telemetry: no spans recorded")
+		return
+	}
+	fmt.Fprintf(w, "== span summary: wall %.3fs, %.1f%% attributed to named spans\n",
+		float64(wall)/1e9, 100*t.Coverage())
+	for _, d := range dumps {
+		if len(d.spans) == 0 && len(d.inst) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "lane %s: %d spans, %.3fs covered\n",
+			d.lane.name, len(d.spans), float64(union(d.spans))/1e9)
+		var render func(n *summaryNode, indent int)
+		render = func(n *summaryNode, indent int) {
+			for _, c := range n.children {
+				fmt.Fprintf(w, "  %s%-*s %6d× %10.3fms %5.1f%%\n",
+					strings.Repeat("  ", indent), 36-2*indent, c.name,
+					c.count, float64(c.total)/1e6, 100*float64(c.total)/float64(wall))
+				render(c, indent+1)
+			}
+		}
+		render(buildTree(d.spans), 0)
+		if len(d.inst) > 0 {
+			fmt.Fprintf(w, "  %-38s %6d×\n", "(instant events)", len(d.inst))
+		}
+	}
+}

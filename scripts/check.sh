@@ -12,9 +12,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (mpi, parallel, estimator, ode, linalg)"
+echo "== go test -race (mpi, parallel, estimator, ode, linalg, telemetry)"
 go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/... \
-	./internal/ode/... ./internal/linalg/...
+	./internal/ode/... ./internal/linalg/... ./internal/telemetry/...
 
 echo "== fault-injection suite (-race)"
 go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stall|Crash|Abort' \
