@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check race fuzz bench faults
+.PHONY: build test check race fuzz bench faults verify
 
 build:
 	go build ./...
@@ -19,6 +19,13 @@ race:
 
 fuzz:
 	go test -fuzz=FuzzParseRDL -fuzztime=10s ./internal/rdl
+	go test -fuzz=FuzzParseSMILES -fuzztime=10s ./internal/chem
+
+# The cross-stack conformance matrix (docs/testing.md): every
+# optimization layer differentially checked against the reference
+# interpreter over seeded random models.
+verify:
+	go run ./cmd/rmsverify -seed 1 -n 25
 
 # The deterministic fault-injection suite (docs/fault-tolerance.md)
 # under the race detector: solver retries, penalty fallbacks, rank

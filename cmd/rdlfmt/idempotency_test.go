@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rms/internal/conformance"
+	"rms/internal/vulcan"
+)
+
+// corpus gathers the known-good RDL programs the formatter must handle:
+// the documented examples, the generated vulcanization model at several
+// sizes, and random structural models from the conformance generator.
+func corpus() []string {
+	progs := []string{
+		// The quickstart model (docs/rdl.md, examples/quickstart).
+		`
+species Bridge = "C[S:1][S:2]C" init 1.0
+species Methyl = "[CH3:3]"      init 0.5
+reaction Scission {
+    reactants Bridge
+    disconnect 1:1 1:2
+    rate K_sc
+}
+reaction Cap {
+    reactants Bridge, Methyl
+    disconnect 1:1 1:2
+    connect    1:1 2:3
+    rate K_cap
+}`,
+		// Ranged species, require/forall, rate families, forbid.
+		`
+species Crosslink{n=2..8} = "C" + "S"*n + "C" init 0
+species Accel            = "CC[S:1][S:2]C"   init 1.0
+reaction Scission {
+    reactants Crosslink{n}
+    require   n >= 6
+    forall    i = 3 .. n-3
+    disconnect 1:S[i] 1:S[i+1]
+    rate K_sc(n)
+}
+forbid "S"
+`,
+	}
+	for _, v := range []int{8, 12, 26} {
+		progs = append(progs, vulcan.RDLSource(v))
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		progs = append(progs, conformance.RandomRDL(rand.New(rand.NewSource(seed))))
+	}
+	return progs
+}
+
+// format(format(x)) == format(x): the formatter is a fixpoint over its
+// own output, on the corpus and on random models.
+func TestFormatIdempotent(t *testing.T) {
+	for i, src := range corpus() {
+		t.Run(fmt.Sprintf("prog%d", i), func(t *testing.T) {
+			once, err := format(src)
+			if err != nil {
+				t.Fatalf("corpus program rejected: %v\n%s", err, src)
+			}
+			twice, err := format(once)
+			if err != nil {
+				t.Fatalf("formatted output rejected: %v\n%s", err, once)
+			}
+			if twice != once {
+				t.Errorf("format not idempotent:\n--- once\n%s\n--- twice\n%s", once, twice)
+			}
+		})
+	}
+}

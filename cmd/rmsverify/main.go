@@ -1,0 +1,98 @@
+// Command rmsverify runs the cross-stack conformance matrix: seeded
+// random models pushed through every optimization layer, each stage
+// boundary checked differentially against the unoptimized reference
+// interpreter, plus the metamorphic properties that need no oracle
+// (permutation invariance, rate rescaling, conservation laws).
+//
+// Usage:
+//
+//	rmsverify -seed 1 -n 25            # the CI acceptance run
+//	rmsverify -n 500 -size 30          # a soak run
+//	rmsverify -stages tape,ccomp -v    # one layer, per-case logging
+//	rmsverify -list                    # show the stage matrix
+//
+// Failing cases shrink automatically to minimal reproducers written
+// under -shrinkdir (default testdata/, created on demand); the exit
+// status is 1 when any stage diverges. -metrics prints the telemetry
+// registry (per-stage case/check/failure counters and max-ulp gauges)
+// after the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rms/internal/conformance"
+	"rms/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rmsverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "base seed for the model generator")
+	n := fs.Int("n", 25, "number of random models")
+	size := fs.Int("size", 10, "nominal species count (cases vary around it)")
+	stages := fs.String("stages", "all", "comma-separated stage subset (see -list)")
+	tol := fs.Float64("tol", 0, "relative tolerance for tree-rewrite comparisons (0 = default)")
+	shrinkDir := fs.String("shrinkdir", "testdata", "directory for shrunken reproducers (\"\" disables)")
+	verbose := fs.Bool("v", false, "log each case and failure")
+	metrics := fs.Bool("metrics", false, "print the telemetry registry after the run")
+	list := fs.Bool("list", false, "list the stage matrix and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, st := range conformance.Stages {
+			fmt.Fprintf(stdout, "%-10s %s\n", st.Name, st.Desc)
+		}
+		return 0
+	}
+
+	reg := telemetry.NewRegistry()
+	cfg := conformance.Config{
+		Seed: *seed, N: *n, Size: *size, Stages: *stages, Tol: *tol,
+		Registry: reg, ShrinkDir: *shrinkDir,
+	}
+	if *verbose {
+		cfg.Log = stderr
+	}
+	fmt.Fprintf(stdout, "rmsverify: seed=%d n=%d size=%d stages=%s\n", *seed, *n, *size, *stages)
+	sum, err := conformance.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "rmsverify: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "%-10s %6s %6s %8s %10s %10s\n",
+		"stage", "cases", "fail", "checks", "max_ulp", "max_rel")
+	for _, st := range sum.Stages {
+		fmt.Fprintf(stdout, "%-10s %6d %6d %8d %10.3g %10.3g\n",
+			st.Name, st.Cases, st.Failures, st.Checks, st.MaxULP, st.MaxRel)
+	}
+	if *metrics {
+		reg.WriteText(stdout)
+	}
+	if !sum.OK() {
+		for _, st := range sum.Stages {
+			if st.Failures == 0 {
+				continue
+			}
+			fmt.Fprintf(stderr, "FAIL %s: %s\n", st.Name, st.FirstFailure)
+			if st.Reproducer != "" {
+				fmt.Fprintf(stderr, "     reproducer (%d species): %s\n",
+					st.ReproducerSpecies, st.Reproducer)
+			}
+		}
+		fmt.Fprintf(stdout, "FAIL (%d stages, %d models, %d failing cases)\n",
+			len(sum.Stages), sum.Models, sum.Failures())
+		return 1
+	}
+	fmt.Fprintf(stdout, "PASS (%d stages, %d models, 0 failures)\n", len(sum.Stages), sum.Models)
+	return 0
+}

@@ -1,54 +1,23 @@
 package diffcheck
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
+	"rms/internal/conformance"
 	"rms/internal/core"
 	"rms/internal/linalg"
-	"rms/internal/network"
 	"rms/internal/ode"
 	"rms/internal/opt"
 )
 
-// randomNetwork builds a random mass-action network: every species decays
-// into a random partner, and a handful of random bimolecular reactions
-// couple the rest. Rate constants are drawn from a small shared pool so
-// families share parameters, as real kinetic models do.
-func randomNetwork(t *testing.T, rng *rand.Rand, nSpecies int) *network.Network {
-	t.Helper()
-	net := network.New()
-	for i := 0; i < nSpecies; i++ {
-		name := fmt.Sprintf("S%d", i)
-		if _, err := net.AddSpecies(name, "", 0.2+rng.Float64()); err != nil {
-			t.Fatal(err)
-		}
-	}
-	sp := func(i int) string { return fmt.Sprintf("S%d", i) }
-	rate := func() string { return fmt.Sprintf("K_%d", 1+rng.Intn(5)) }
-	rxn := 0
-	add := func(consumed, produced []string) {
-		rxn++
-		if _, err := net.AddReaction(fmt.Sprintf("r%d", rxn), rate(), consumed, produced); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// Unimolecular decay keeps every diagonal entry structurally nonzero.
-	for i := 0; i < nSpecies; i++ {
-		add([]string{sp(i)}, []string{sp(rng.Intn(nSpecies))})
-	}
-	for i := 0; i < 2*nSpecies; i++ {
-		a, b, c := rng.Intn(nSpecies), rng.Intn(nSpecies), rng.Intn(nSpecies)
-		add([]string{sp(a), sp(b)}, []string{sp(c)})
-	}
-	return net
-}
-
+// compileRandom compiles a conformance-generated random mass-action
+// network (the shared generator lives in internal/conformance; see
+// conformance.RandomNetwork) and draws a random rate vector for it.
 func compileRandom(t *testing.T, rng *rand.Rand, nSpecies int) (*core.Result, []float64) {
 	t.Helper()
-	net := randomNetwork(t, rng, nSpecies)
+	net := conformance.RandomNetwork(rng, nSpecies)
 	res, err := core.CompileNetwork(net, core.Config{
 		Optimize: opt.Full(), AnalyticJacobian: true,
 	})

@@ -5,4 +5,9 @@
 // the structural pattern and is exactly zero elsewhere, and (b) the stiff
 // solver's dense and sparse Newton paths produce the same trajectories to
 // solver tolerance. The package contains only tests.
+//
+// The random model generator is shared with the full cross-stack
+// harness: see conformance.RandomNetwork (internal/conformance) and
+// cmd/rmsverify, which runs the complete stage matrix these properties
+// are a slice of.
 package diffcheck

@@ -132,6 +132,17 @@ func (p *smilesParser) parse() (*Molecule, error) {
 	if len(p.ringBonds) != 0 {
 		return nil, p.errf("unclosed ring bond")
 	}
+	// A SMILES must denote at least one atom, and a bond symbol must be
+	// followed by the atom it bonds to: "#" alone or a trailing "C="
+	// would otherwise slip through as an empty molecule or a silently
+	// dropped bond (and an empty molecule's canonical form "" does not
+	// reparse, breaking the canonicalization fixpoint).
+	if len(p.mol.Atoms) == 0 {
+		return nil, p.errf("no atoms")
+	}
+	if pendingBond != 0 {
+		return nil, p.errf("dangling bond at end of input")
+	}
 	p.fillImplicitHydrogens()
 	return p.mol, nil
 }
@@ -168,6 +179,14 @@ func (p *smilesParser) closeRing(num, atom, pendingBond int) error {
 		}
 		if half.atom == atom {
 			return p.errf("ring %d closes onto its own atom", num)
+		}
+		// A ring closure paralleling an existing bond ("B1B1", "C12C12")
+		// would put two edges between one atom pair — inexpressible in
+		// SMILES output, so the canonical form could not round-trip.
+		for _, b := range p.mol.Bonds {
+			if (b.A == half.atom && b.B == atom) || (b.A == atom && b.B == half.atom) {
+				return p.errf("ring %d duplicates an existing bond", num)
+			}
 		}
 		p.mol.Bonds = append(p.mol.Bonds, Bond{A: half.atom, B: atom, Order: order})
 		return nil

@@ -1,0 +1,100 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rms/internal/network"
+)
+
+// GenOptions shapes RandomNetworkOpts.
+type GenOptions struct {
+	// Conservative generates a particle-conserving network: only
+	// isomerizations (1→1) and exchanges (2→2), so the total species
+	// count is invariant and the network has at least one conservation
+	// law. The default profile mixes decays and bimolecular collapses,
+	// which generally conserve nothing.
+	Conservative bool
+}
+
+// RandomNetwork builds a random mass-action network: every species
+// decays into a random partner (keeping every Jacobian diagonal entry
+// structurally nonzero), and 2n random bimolecular reactions couple the
+// rest. Rate constants are drawn from a small shared pool so families
+// share parameters, as real kinetic models do. Initial concentrations
+// are randomized in [0.2, 1.2); the harness reuses them as the
+// evaluation state, so a network fully determines its own test point.
+//
+// The generator panics only on impossible internal errors (duplicate
+// species names cannot arise), so callers need no error path.
+func RandomNetwork(rng *rand.Rand, nSpecies int) *network.Network {
+	return RandomNetworkOpts(rng, nSpecies, GenOptions{})
+}
+
+// RandomNetworkOpts is RandomNetwork with generation options.
+func RandomNetworkOpts(rng *rand.Rand, nSpecies int, o GenOptions) *network.Network {
+	if nSpecies < 2 {
+		nSpecies = 2
+	}
+	net := network.New()
+	for i := 0; i < nSpecies; i++ {
+		if _, err := net.AddSpecies(fmt.Sprintf("S%d", i), "", 0.2+rng.Float64()); err != nil {
+			panic("conformance: " + err.Error())
+		}
+	}
+	sp := func(i int) string { return fmt.Sprintf("S%d", i) }
+	rate := func() string { return fmt.Sprintf("K_%d", 1+rng.Intn(5)) }
+	rxn := 0
+	add := func(consumed, produced []string) {
+		rxn++
+		if _, err := net.AddReaction(fmt.Sprintf("r%d", rxn), rate(), consumed, produced); err != nil {
+			panic("conformance: " + err.Error())
+		}
+	}
+	if o.Conservative {
+		// Isomerization keeps every diagonal entry structurally nonzero.
+		for i := 0; i < nSpecies; i++ {
+			add([]string{sp(i)}, []string{sp(rng.Intn(nSpecies))})
+		}
+		for i := 0; i < 2*nSpecies; i++ {
+			a, b := rng.Intn(nSpecies), rng.Intn(nSpecies)
+			c, d := rng.Intn(nSpecies), rng.Intn(nSpecies)
+			add([]string{sp(a), sp(b)}, []string{sp(c), sp(d)})
+		}
+		return net
+	}
+	// Unimolecular decay keeps every diagonal entry structurally nonzero.
+	for i := 0; i < nSpecies; i++ {
+		add([]string{sp(i)}, []string{sp(rng.Intn(nSpecies))})
+	}
+	for i := 0; i < 2*nSpecies; i++ {
+		a, b, c := rng.Intn(nSpecies), rng.Intn(nSpecies), rng.Intn(nSpecies)
+		add([]string{sp(a), sp(b)}, []string{sp(c)})
+	}
+	return net
+}
+
+// RateValue returns the deterministic rate-constant value the harness
+// assigns to a named rate: a hash of the name mapped into [0.5, 2.5).
+// Deriving values from names (rather than drawing them from the case
+// RNG) keeps a shrunken network's evaluation point identical to the
+// original's, so shrinking never changes the arithmetic under test.
+func RateValue(name string) float64 {
+	// FNV-1a, folded to a unit float.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	unit := float64(h>>11) / (1 << 53)
+	return 0.5 + 2*unit
+}
+
+// RateVector maps RateValue over a rate-name list.
+func RateVector(names []string) []float64 {
+	k := make([]float64, len(names))
+	for i, n := range names {
+		k[i] = RateValue(n)
+	}
+	return k
+}

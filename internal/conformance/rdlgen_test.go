@@ -1,0 +1,38 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"rms/internal/network"
+	"rms/internal/rdl"
+)
+
+// Every generated RDL program parses, formats idempotently, and expands
+// to a non-trivial network.
+func TestRandomRDLAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := RandomRDL(rng)
+		prog, err := rdl.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		text := rdl.Format(prog)
+		prog2, err := rdl.Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: formatted output rejected: %v\n%s", seed, err, text)
+		}
+		if again := rdl.Format(prog2); again != text {
+			t.Errorf("seed %d: format not idempotent", seed)
+		}
+		net, err := network.Generate(prog)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v\n%s", seed, err, src)
+		}
+		if len(net.Species) < 2 || len(net.Reactions) == 0 {
+			t.Errorf("seed %d: trivial network (%d species, %d reactions)",
+				seed, len(net.Species), len(net.Reactions))
+		}
+	}
+}

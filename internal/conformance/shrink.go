@@ -1,0 +1,135 @@
+package conformance
+
+import (
+	"rms/internal/network"
+)
+
+// Shrink reduces a failing network to a (locally) minimal reproducer:
+// the smallest sub-network for which fails still returns true. It runs
+// delta debugging over the reaction list — removing halves, then
+// quarters, down to single reactions — and then tries deleting each
+// species together with every reaction touching it. Species left
+// unreferenced by the surviving reactions are dropped automatically.
+//
+// The predicate must be deterministic in the candidate network alone;
+// the harness guarantees that by deriving the evaluation point from the
+// network itself (initial concentrations and name-hashed rates).
+func Shrink(net *network.Network, fails func(*network.Network) bool) *network.Network {
+	cur := net
+	for {
+		next := shrinkReactions(cur, fails)
+		next = shrinkSpecies(next, fails)
+		if len(next.Reactions) == len(cur.Reactions) && len(next.Species) == len(cur.Species) {
+			return next
+		}
+		cur = next
+	}
+}
+
+// shrinkReactions removes reaction chunks of halving size while the
+// failure persists.
+func shrinkReactions(net *network.Network, fails func(*network.Network) bool) *network.Network {
+	cur := net
+	for chunk := len(cur.Reactions) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(cur.Reactions); {
+			keep := make([]bool, len(cur.Reactions))
+			for i := range keep {
+				keep[i] = i < start || i >= start+chunk
+			}
+			cand := subNetwork(cur, keep)
+			if cand != nil && fails(cand) {
+				cur = cand
+				removed = true
+				// Do not advance start: the slice shifted left.
+			} else {
+				start++
+			}
+		}
+		if !removed {
+			chunk /= 2
+		} else if chunk > len(cur.Reactions)/2 {
+			chunk = len(cur.Reactions) / 2
+			if chunk < 1 {
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// shrinkSpecies deletes one species (and every reaction naming it) at a
+// time while the failure persists.
+func shrinkSpecies(net *network.Network, fails func(*network.Network) bool) *network.Network {
+	cur := net
+	for si := 0; si < len(cur.Species); {
+		name := cur.Species[si].Name
+		keep := make([]bool, len(cur.Reactions))
+		for i, r := range cur.Reactions {
+			keep[i] = !referencesSpecies(r, name)
+		}
+		cand := subNetwork(cur, keep)
+		if cand != nil && cand.SpeciesByName(name) == nil && fails(cand) {
+			cur = cand
+			si = 0 // indices shifted; rescan from the top
+		} else {
+			si++
+		}
+	}
+	return cur
+}
+
+func referencesSpecies(r *network.Reaction, name string) bool {
+	for _, s := range r.Consumed {
+		if s == name {
+			return true
+		}
+	}
+	for _, s := range r.Produced {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// subNetwork rebuilds a network keeping only the flagged reactions and
+// the species they reference (original declaration order and initial
+// concentrations preserved). Returns nil for an empty candidate.
+func subNetwork(net *network.Network, keep []bool) *network.Network {
+	used := make(map[string]bool)
+	count := 0
+	for i, r := range net.Reactions {
+		if !keep[i] {
+			continue
+		}
+		count++
+		for _, s := range r.Consumed {
+			used[s] = true
+		}
+		for _, s := range r.Produced {
+			used[s] = true
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	sub := network.New()
+	for _, s := range net.Species {
+		if !used[s.Name] {
+			continue
+		}
+		if _, err := sub.AddSpecies(s.Name, s.SMILES, s.Init); err != nil {
+			panic("conformance: " + err.Error())
+		}
+	}
+	for i, r := range net.Reactions {
+		if !keep[i] {
+			continue
+		}
+		if _, err := sub.AddReaction(r.Name, r.Rate, r.Consumed, r.Produced); err != nil {
+			panic("conformance: " + err.Error())
+		}
+	}
+	return sub
+}

@@ -1,0 +1,75 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"rms/internal/network"
+)
+
+// A synthetic failure predicate ("any reaction with rate K_bad") must
+// shrink to a single-reaction network.
+func TestShrinkToSingleReaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := RandomNetwork(rng, 12)
+	// Plant the "bug" on one mid-list reaction.
+	bad := net.Reactions[17]
+	bad.Rate = "K_bad"
+	fails := func(cand *network.Network) bool {
+		for _, r := range cand.Reactions {
+			if r.Rate == "K_bad" {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(net, fails)
+	if len(min.Reactions) != 1 {
+		t.Fatalf("shrunk to %d reactions, want 1:\n%s", len(min.Reactions), FormatNetwork(min))
+	}
+	if min.Reactions[0].Rate != "K_bad" {
+		t.Errorf("kept the wrong reaction: %v", min.Reactions[0])
+	}
+	if len(min.Species) > 3 {
+		t.Errorf("kept %d species for a unimolecular/bimolecular reaction", len(min.Species))
+	}
+	// Unreferenced species are gone.
+	for _, s := range min.Species {
+		if !referencesSpecies(min.Reactions[0], s.Name) {
+			t.Errorf("species %s unreferenced but kept", s.Name)
+		}
+	}
+}
+
+// Shrinking preserves initial concentrations and reaction identity, so
+// the evaluation point of the surviving subsystem is unchanged.
+func TestShrinkPreservesData(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := RandomNetwork(rng, 8)
+	target := net.Reactions[3].Name
+	fails := func(cand *network.Network) bool {
+		for _, r := range cand.Reactions {
+			if r.Name == target {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(net, fails)
+	for _, s := range min.Species {
+		orig := net.SpeciesByName(s.Name)
+		if orig == nil || orig.Init != s.Init {
+			t.Errorf("species %s init drifted", s.Name)
+		}
+	}
+}
+
+// A predicate that never fails leaves the network alone (Shrink only
+// commits candidates that still fail).
+func TestShrinkNoFalseProgress(t *testing.T) {
+	net := RandomNetwork(rand.New(rand.NewSource(7)), 6)
+	min := Shrink(net, func(*network.Network) bool { return false })
+	if len(min.Reactions) != len(net.Reactions) || len(min.Species) != len(net.Species) {
+		t.Error("shrink modified a non-failing network")
+	}
+}

@@ -2,9 +2,10 @@
 # Repository checks: vet everything, race-test the concurrency-heavy
 # packages (the simulated MPI runtime, the worker pool, the parallel
 # estimator) and the numerical core the sparse Jacobian path touches
-# (solver, linear algebra), then give the RDL parser fuzzer a short
-# smoke run. Run from the repository root; the full serial test suite
-# is `go test ./...`.
+# (solver, linear algebra), give both parser fuzzers a short smoke run,
+# then run the cross-stack conformance matrix (docs/testing.md). Run
+# from the repository root; the full serial test suite is
+# `go test ./...`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,9 +19,16 @@ go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/..
 
 echo "== fault-injection suite (-race)"
 go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stall|Crash|Abort' \
-	./internal/faults/... ./internal/mpi ./internal/estimator ./internal/nlopt
+	./internal/faults/... ./internal/mpi ./internal/estimator ./internal/nlopt \
+	./internal/conformance
 
 echo "== fuzz smoke (FuzzParseRDL, 10s)"
 go test -fuzz=FuzzParseRDL -fuzztime=10s ./internal/rdl
+
+echo "== fuzz smoke (FuzzParseSMILES, 10s)"
+go test -fuzz=FuzzParseSMILES -fuzztime=10s ./internal/chem
+
+echo "== conformance matrix (make verify)"
+make verify
 
 echo "ok"
