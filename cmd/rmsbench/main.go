@@ -7,6 +7,8 @@
 //	rmsbench -table 2            # Table 2, parallel speedup sweep
 //	rmsbench -table 2 -workers 8 # Table 2 with 8-wide per-rank pools
 //	rmsbench -parallel           # serial vs levelized-parallel RHS eval
+//	rmsbench -batch              # serial vs batched SoA RHS eval sweep
+//	rmsbench -batch -workers 4   # same, with a lane-partitioning pool
 //	rmsbench -sparse             # dense vs sparse Jacobian build+factor
 //	rmsbench -sparse -variants 1000  # same, one custom system size
 //	rmsbench -ablate             # optimizer-pass ablation study
@@ -37,12 +39,12 @@ import (
 
 // benchConfig selects which benches run and how they report.
 type benchConfig struct {
-	table                                         int
-	full, ablate, sweep, parallel, sparse, faults bool
-	rate                                          float64
-	workers, variants, evalMs                     int
-	jsonOut                                       bool
-	obs                                           telemetry.CLI
+	table                                                int
+	full, ablate, sweep, parallel, batch, sparse, faults bool
+	rate                                                 float64
+	workers, variants, evalMs                            int
+	jsonOut                                              bool
+	obs                                                  telemetry.CLI
 }
 
 // report is the -json document: one optional section per bench, plus the
@@ -51,6 +53,7 @@ type report struct {
 	Table1   []bench.Table1Row       `json:"table1,omitempty"`
 	Table2   []bench.Table2Row       `json:"table2,omitempty"`
 	Parallel []bench.ParallelRow     `json:"parallel,omitempty"`
+	Batch    []bench.BatchRow        `json:"batch,omitempty"`
 	Sparse   []bench.SparseRow       `json:"sparse,omitempty"`
 	Faults   []bench.FaultsRow       `json:"faults,omitempty"`
 	Ablation *ablationReport         `json:"ablation,omitempty"`
@@ -74,6 +77,7 @@ func main() {
 	flag.BoolVar(&cfg.ablate, "ablate", false, "run the optimizer ablation study")
 	flag.BoolVar(&cfg.sweep, "sweep", false, "run the workload-redundancy sensitivity sweep")
 	flag.BoolVar(&cfg.parallel, "parallel", false, "compare serial vs levelized-parallel tape evaluation")
+	flag.BoolVar(&cfg.batch, "batch", false, "compare serial vs batched SoA tape evaluation across batch widths")
 	flag.BoolVar(&cfg.sparse, "sparse", false, "compare dense vs sparse Jacobian build + factorization")
 	flag.BoolVar(&cfg.faults, "faults", false, "measure fault-tolerance recovery overhead under injected failures")
 	flag.Float64Var(&cfg.rate, "rate", 0, "-faults: transient per-file-solve failure rate (0 = default 0.05)")
@@ -163,6 +167,20 @@ func run(w io.Writer, cfg benchConfig) error {
 		rep.Parallel = rows
 		fmt.Fprintln(text, "Levelized parallel tape evaluation vs the serial interpreter")
 		fmt.Fprint(text, bench.FormatParallel(rows))
+	}
+	if cfg.batch {
+		did = true
+		rows, err := bench.BatchEval(bench.BatchConfig{
+			Variants:    cfg.variants,
+			Workers:     cfg.workers,
+			MinEvalTime: time.Duration(cfg.evalMs) * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Batch = rows
+		fmt.Fprintln(text, "Batched SoA tape evaluation vs the serial interpreter (per-state throughput)")
+		fmt.Fprint(text, bench.FormatBatch(rows))
 	}
 	if cfg.sparse {
 		did = true

@@ -12,6 +12,7 @@ package codegen
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"rms/internal/telemetry"
@@ -160,8 +161,11 @@ func (e *Evaluator) EvalSlots(y, k []float64) {
 	// Rerun the prelude whenever the rate constants change *by value*: the
 	// caller may mutate k in place between evaluations (the optimizer's
 	// line-search loop does exactly that), so slice identity proves
-	// nothing — lastK is a private copy compared element-wise.
-	if !e.preludeDone || !floatsEqual(e.lastK, k) {
+	// nothing — lastK is a private copy compared element-wise. The compare
+	// is on bit patterns, not ==: NaN != NaN would force a prelude rerun on
+	// every evaluation once a non-finite trial parameter appears (the
+	// optimizer's penalty path produces exactly these).
+	if !e.preludeDone || !floatsBitEqual(e.lastK, k) {
 		copy(s[len(p.Consts)+p.NumY:], k)
 		runCode(s, p.Prelude)
 		e.lastK = append(e.lastK[:0], k...)
@@ -175,12 +179,15 @@ func (e *Evaluator) EvalSlots(y, k []float64) {
 // Slot reads a slot value after EvalSlots.
 func (e *Evaluator) Slot(i int32) float64 { return e.slots[i] }
 
-func floatsEqual(a, b []float64) bool {
+// floatsBitEqual compares two float vectors by bit pattern, so equal NaN
+// payloads compare equal (and -0 differs from +0, which only costs a
+// spurious — harmless — prelude rerun).
+func floatsBitEqual(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			return false
 		}
 	}

@@ -71,6 +71,18 @@ type Config struct {
 	// RHS and Jacobian tapes then fan out across the pool; results stay
 	// bit-identical to serial evaluation.
 	Workers int
+	// Batch solves each rank's assigned data files as ONE lockstep batched
+	// BDF integration (ode.BatchBDF over codegen.BatchEvaluator): every
+	// file is a lane of a structure-of-arrays batch, so the compiled tape
+	// runs once per corrector iteration for the whole rank instead of once
+	// per file, and lanes drop out as their record grids are exhausted.
+	// Requires Model.Stiff; the flag is ignored under FaultTolerant or
+	// fault injection (those paths need per-file retry isolation), and
+	// files with non-ascending record times fall back to the serial
+	// per-file path. Batched residuals agree with serial ones to
+	// integration tolerance — the lockstep step control max-reduces error
+	// norms across a rank's files, so the step sequences differ.
+	Batch bool
 	// FaultTolerant enables graceful degradation (docs/fault-tolerance.md):
 	// failed file solves are retried per Retry and then penalized instead
 	// of aborting the fit, residual accumulation is guarded against
@@ -465,7 +477,19 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 			ev.SetParallel(pool)
 		}
 		lane := c.Lane()
-		for _, fi := range assignment[c.Rank()] {
+		rankFiles := assignment[c.Rank()]
+		if e.useBatch() && len(rankFiles) > 0 {
+			var batchErr error
+			rankFiles, batchErr = e.solveRankBatch(rankFiles, k, pool, localErr, localTime, lane)
+			if batchErr != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = batchErr
+				}
+				errMu.Unlock()
+			}
+		}
+		for _, fi := range rankFiles {
 			if lane != nil {
 				lane.Begin("solve " + e.files[fi].Name)
 			}
@@ -580,6 +604,120 @@ func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dat
 		errvec[j] += errf(sim, rec.Value)
 	}
 	return solver.Stats(), nil
+}
+
+// useBatch reports whether objective calls take the batched solve path.
+func (e *Estimator) useBatch() bool {
+	return e.cfg.Batch && e.model.Stiff && !e.cfg.FaultTolerant && e.cfg.Faults == nil
+}
+
+// ascendingRecords reports whether a file's record times are
+// non-decreasing — the shape a batch lane's output grid requires.
+func ascendingRecords(f *dataset.File) bool {
+	for j := 1; j < len(f.Records); j++ {
+		if f.Records[j].T < f.Records[j-1].T {
+			return false
+		}
+	}
+	return true
+}
+
+// solveRankBatch integrates all of a rank's batchable files as one
+// lockstep batched BDF solve: each file is a lane, the compiled tape
+// evaluates once per corrector iteration for the whole rank
+// (codegen.BatchEvaluator), and each lane's residual contributions are
+// emitted at its own record times with per-lane completion masking.
+// Files whose record grids are not ascending are returned for the serial
+// per-file path; per-lane solver failures surface like serial per-file
+// errors.
+func (e *Estimator) solveRankBatch(fileIdx []int, k []float64, pool *parallel.Pool, errvec, timevec []float64, lane *telemetry.Lane) ([]int, error) {
+	var lanes, leftovers []int
+	for _, fi := range fileIdx {
+		if ascendingRecords(e.files[fi]) {
+			lanes = append(lanes, fi)
+		} else {
+			leftovers = append(leftovers, fi)
+		}
+	}
+	if len(lanes) == 0 {
+		return leftovers, nil
+	}
+	prog := e.model.Prog
+	n, b := prog.NumY, len(lanes)
+	if lane != nil {
+		lane.Begin(fmt.Sprintf("batch solve (%d files)", b))
+		defer lane.End()
+	}
+
+	// Broadcast the shared rate vector and initial state across the lanes.
+	kSoA := make([]float64, prog.NumK*b)
+	for j := 0; j < prog.NumK; j++ {
+		for l := 0; l < b; l++ {
+			kSoA[j*b+l] = k[j]
+		}
+	}
+	y0 := make([]float64, n*b)
+	for i := 0; i < n; i++ {
+		for l := 0; l < b; l++ {
+			y0[i*b+l] = e.model.Y0[i]
+		}
+	}
+
+	bev := prog.NewBatchEvaluator(b)
+	bev.Observe(e.cfg.Metrics)
+	if pool != nil {
+		bev.SetParallel(pool)
+	}
+	rhs := func(_ float64, y, dy []float64) {
+		bev.EvalBatch(y, kSoA, dy)
+	}
+	opts := e.model.SolverOpts
+	opts.Observer = nil // per-step events are not emitted on the batch path
+	bopts := ode.BatchOptions{Options: opts}
+	if e.model.AnalyticJac != nil {
+		jacEv := e.model.AnalyticJac.NewBatchEvaluator(b)
+		if pool != nil {
+			jacEv.SetParallel(pool)
+		}
+		bopts.Pattern = e.model.AnalyticJac.PatternCSR()
+		bopts.BatchJacobian = func(_ float64, y []float64, active []bool, dst []*linalg.CSR) {
+			jacEv.EvalCSR(y, kSoA, active, dst)
+		}
+	}
+	solver := ode.NewBatchBDF(rhs, n, b, bopts)
+
+	grids := make([][]float64, b)
+	for l, fi := range lanes {
+		recs := e.files[fi].Records
+		grid := make([]float64, len(recs))
+		for j, rec := range recs {
+			grid[j] = rec.T
+		}
+		grids[l] = grid
+	}
+	errf := e.model.ErrorFunc
+	if errf == nil {
+		errf = func(sim, obs float64) float64 { return sim - obs }
+	}
+	solveErr := solver.Solve(0, y0, grids, func(l, idx int, y []float64) {
+		sim := e.model.Property(y)
+		errvec[idx] += errf(sim, e.files[lanes[l]].Records[idx].Value)
+	})
+
+	var firstErr error
+	for l, fi := range lanes {
+		st := solver.LaneStats(l)
+		timevec[fi] = e.workOps(st)
+		e.publishSolve(st)
+		err := solver.LaneErr(l)
+		if err == nil && solveErr != nil {
+			err = solveErr // a whole-batch failure charges every lane
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("estimator: file %s: %w", e.files[fi].Name, err)
+		}
+	}
+	return leftovers, firstErr
 }
 
 // Estimate fits the rate constants within the chemist's bounds by

@@ -360,6 +360,23 @@ func (h *intHeap) pop() int32 {
 	}
 }
 
+// Fork returns a factorization sharing f's symbolic structure (ordering,
+// fill pattern, flop counts — the expensive one-time phase) with private
+// numeric storage and workspaces. The batched stiff solver forks one
+// symbolic factorization per lane: every lane's iteration matrix has the
+// same sparsity pattern, so the min-degree ordering and fill-in analysis
+// are computed once and only the per-lane numeric Refactor/SolveTo state
+// is duplicated. The shared slices are never written after NewSparseLU,
+// so forks are safe to use from different goroutines (each fork from one
+// goroutine at a time, as with any SparseLU).
+func (f *SparseLU) Fork() *SparseLU {
+	g := *f
+	g.data = make([]float64, len(f.data))
+	g.work = make([]float64, f.n)
+	g.rhs = make([]float64, f.n)
+	return &g
+}
+
 // FillNNZ returns the nonzero count of L+U including fill-in.
 func (f *SparseLU) FillNNZ() int { return len(f.colIdx) }
 

@@ -225,3 +225,74 @@ func TestLUSolveToMatchesSolve(t *testing.T) {
 		}
 	}
 }
+
+// TestSparseLUForkSharesSymbolic: forks share the one-time symbolic
+// structure but keep independent numeric factors — each fork refactors
+// and solves its own matrix, bit-identically to a from-scratch
+// factorization over the same pattern.
+func TestSparseLUForkSharesSymbolic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, forks = 40, 3
+	base, _ := randSparseSystem(rng, n, 3)
+	root, err := NewSparseLU(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mats := make([]*CSR, forks)
+	lus := make([]*SparseLU, forks)
+	for f := 0; f < forks; f++ {
+		m, _ := randSparseSystem(rng, n, 3)
+		// Same pattern as base (regenerate values onto base's layout).
+		c := base.Clone()
+		for i := range c.Data {
+			c.Data[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				if q := c.Index(i, int(m.ColIdx[p])); q >= 0 {
+					c.Data[q] = m.Data[p]
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			c.Data[c.Index(i, i)] = m.Data[m.Index(i, i)]
+		}
+		mats[f] = c
+		lus[f] = root.Fork()
+		if lus[f].FillNNZ() != root.FillNNZ() || lus[f].RefactorFlops() != root.RefactorFlops() {
+			t.Fatal("fork does not share the symbolic structure")
+		}
+	}
+	// Interleave refactors and solves across forks: no cross-talk.
+	for f := 0; f < forks; f++ {
+		if err := lus[f].Refactor(mats[f]); err != nil {
+			t.Fatalf("fork %d: %v", f, err)
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	got := make([]float64, n)
+	want := make([]float64, n)
+	for f := 0; f < forks; f++ {
+		fresh, err := NewSparseLU(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Refactor(mats[f]); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.SolveTo(want, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := lus[f].SolveTo(got, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("fork %d solution differs at %d: %v != %v", f, i, got[i], want[i])
+			}
+		}
+	}
+}

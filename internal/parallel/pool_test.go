@@ -1,9 +1,12 @@
 package parallel
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"rms/internal/telemetry"
 )
 
 func TestDoRunsEveryWorkerOnce(t *testing.T) {
@@ -172,4 +175,65 @@ func TestCloseIdempotent(t *testing.T) {
 	p := NewPool(3)
 	p.Close()
 	p.Close()
+}
+
+// An oversubscribed barrier — far more parties than OS threads — must
+// still release every round: the spin loop yields via Gosched, so
+// parked parties cannot starve the stragglers off the scheduler.
+func TestBarrierOversubscribed(t *testing.T) {
+	parties := runtime.GOMAXPROCS(0) * 4
+	if parties < 8 {
+		parties = 8
+	}
+	const rounds = 50
+	b := NewBarrier(parties)
+	var completed atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b.Await()
+				// Between barriers every party sees the shared round
+				// counter within one full-arrival of its own round;
+				// more would mean a party lapped the barrier.
+				if c := int(completed.Load()); c < r*parties || c > (r+1)*parties {
+					t.Errorf("completed %d at round %d (parties=%d)", c, r, parties)
+					return
+				}
+				completed.Add(1)
+				b.Await()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := completed.Load(); got != int32(parties*rounds) {
+		t.Errorf("completed = %d, want %d", got, parties*rounds)
+	}
+}
+
+// Run's serial fallback (width-1 pool, or a single task on a wide pool)
+// must still account its tasks in the pool.tasks counter — telemetry
+// totals may not depend on which execution path was taken.
+func TestRunSerialFallbackTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	one := NewPool(1)
+	defer one.Close()
+	one.Observe(reg)
+	one.Run(7, func(int) {})
+
+	wide := NewPool(4)
+	defer wide.Close()
+	wide.Observe(reg)
+	wide.Run(1, func(int) {}) // tasks==1 fast path on a wide pool
+	wide.Run(0, func(int) { t.Error("task ran for tasks=0") })
+
+	if got := reg.Counter("pool.tasks").Value(); got != 8 {
+		t.Errorf("pool.tasks = %d, want 8", got)
+	}
+	// The serial fallbacks never dispatch helpers, so no dispatch count.
+	if got := reg.Counter("pool.dispatches").Value(); got != 0 {
+		t.Errorf("pool.dispatches = %d, want 0", got)
+	}
 }

@@ -85,25 +85,42 @@ func (g *Gauge) Value() float64 {
 // Histogram counts observations into fixed buckets with atomic
 // increments. A nil Histogram is a no-op.
 type Histogram struct {
-	bounds []float64      // ascending upper bounds; counts has len+1 cells
-	counts []atomic.Int64 // counts[i] = observations ≤ bounds[i]; last = overflow
-	count  atomic.Int64
-	sum    FloatCounter
+	bounds  []float64      // ascending upper bounds; counts has len+1 cells
+	counts  []atomic.Int64 // counts[i] = observations ≤ bounds[i]; last = overflow
+	count   atomic.Int64
+	invalid atomic.Int64 // NaN/±Inf samples, kept out of the buckets and sum
+	sum     FloatCounter
 }
 
 // DurationBuckets are the default histogram bounds for nanosecond
 // durations: powers of ten from 1µs to 100s.
 var DurationBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
 
-// Observe records one sample. No-op on a nil histogram.
+// Observe records one sample. Non-finite samples (NaN, ±Inf) are counted
+// separately (see Invalid) instead of entering the buckets: a single NaN
+// folded into sum would poison Mean and Sum for the whole run. No-op on a
+// nil histogram.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.invalid.Add(1)
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// Invalid returns the number of non-finite samples rejected by Observe
+// (0 for nil).
+func (h *Histogram) Invalid() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.invalid.Load()
 }
 
 // Count returns the number of observations (0 for nil).
@@ -174,6 +191,9 @@ type MetricValue struct {
 	Value float64 `json:"value"`
 	// Count is the histogram observation count (0 otherwise).
 	Count int64 `json:"count,omitempty"`
+	// Invalid is the histogram's rejected non-finite sample count
+	// (0 otherwise).
+	Invalid int64 `json:"invalid,omitempty"`
 	// Mean and P90 summarize histograms (0 otherwise).
 	Mean float64 `json:"mean,omitempty"`
 	P90  float64 `json:"p90,omitempty"`
@@ -212,8 +232,37 @@ func (r *Registry) note(name string, kind MetricKind) {
 	}
 }
 
+// ConflictsMetric counts registrations rejected because the name was
+// already taken by a metric of another type (or a histogram with other
+// bounds). A nonzero value means some call site holds a detached metric
+// whose updates are invisible in Snapshot.
+const ConflictsMetric = "telemetry.conflicts"
+
+// conflict records one rejected registration under ConflictsMetric.
+// Called with r.mu held.
+func (r *Registry) conflict() {
+	c, ok := r.ctrs[ConflictsMetric]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[ConflictsMetric] = c
+		r.note(ConflictsMetric, KindCounter)
+	}
+	c.Inc()
+}
+
+// taken reports whether name is already registered (necessarily as
+// another type: callers check their own map first). Called with r.mu
+// held.
+func (r *Registry) taken(name string) bool {
+	_, ok := r.kinds[name]
+	return ok
+}
+
 // Counter returns the named counter, creating it on first use
-// (nil registry → nil counter).
+// (nil registry → nil counter). A name already registered as another
+// metric type is a conflict: the call returns a detached counter (live,
+// but absent from Snapshot) and bumps ConflictsMetric, instead of
+// silently aliasing two metrics under one name.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
@@ -222,6 +271,10 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.ctrs[name]
 	if !ok {
+		if r.taken(name) {
+			r.conflict()
+			return &Counter{}
+		}
 		c = &Counter{}
 		r.ctrs[name] = c
 		r.note(name, KindCounter)
@@ -230,7 +283,8 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // FloatCounter returns the named float counter, creating it on first use
-// (nil registry → nil counter).
+// (nil registry → nil counter). Cross-type name collisions are handled
+// as in Counter: detached metric plus ConflictsMetric.
 func (r *Registry) FloatCounter(name string) *FloatCounter {
 	if r == nil {
 		return nil
@@ -239,6 +293,10 @@ func (r *Registry) FloatCounter(name string) *FloatCounter {
 	defer r.mu.Unlock()
 	c, ok := r.floats[name]
 	if !ok {
+		if r.taken(name) {
+			r.conflict()
+			return &FloatCounter{}
+		}
 		c = &FloatCounter{}
 		r.floats[name] = c
 		r.note(name, KindCounter)
@@ -247,7 +305,8 @@ func (r *Registry) FloatCounter(name string) *FloatCounter {
 }
 
 // Gauge returns the named gauge, creating it on first use
-// (nil registry → nil gauge).
+// (nil registry → nil gauge). Cross-type name collisions are handled as
+// in Counter: detached metric plus ConflictsMetric.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
@@ -256,6 +315,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		if r.taken(name) {
+			r.conflict()
+			return &Gauge{}
+		}
 		g = &Gauge{}
 		r.gauges[name] = g
 		r.note(name, KindGauge)
@@ -265,23 +328,46 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use (nil bounds → DurationBuckets; nil registry
-// → nil histogram).
+// → nil histogram). Re-registering an existing histogram with different
+// explicit bounds is a conflict: the existing histogram is returned —
+// callers keep observing into one consistent bucket layout — and
+// ConflictsMetric records that the requested bounds were dropped.
+// Cross-type name collisions return a detached histogram, as in Counter.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[name]
-	if !ok {
-		if bounds == nil {
-			bounds = DurationBuckets
+	if h, ok := r.hists[name]; ok {
+		if bounds != nil && !sameBounds(h.bounds, bounds) {
+			r.conflict()
 		}
-		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-		r.hists[name] = h
-		r.note(name, KindHistogram)
+		return h
 	}
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	if r.taken(name) {
+		r.conflict()
+		return h
+	}
+	r.hists[name] = h
+	r.note(name, KindHistogram)
 	return h
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Snapshot returns every metric's current value, sorted by name. Safe to
@@ -312,6 +398,7 @@ func (r *Registry) Snapshot() []MetricValue {
 		case h != nil:
 			mv.Value = h.Sum()
 			mv.Count = h.Count()
+			mv.Invalid = h.Invalid()
 			mv.Mean = h.Mean()
 			mv.P90 = h.Quantile(0.9)
 		}
@@ -340,8 +427,12 @@ func (r *Registry) WriteText(w io.Writer) {
 			if !math.IsInf(mv.P90, 1) {
 				p90 = fmtNum(mv.P90)
 			}
-			fmt.Fprintf(w, "%-*s  count=%d mean=%s p90≤%s sum=%s\n",
-				width, mv.Name, mv.Count, fmtNum(mv.Mean), p90, fmtNum(mv.Value))
+			invalid := ""
+			if mv.Invalid > 0 {
+				invalid = fmt.Sprintf(" invalid=%d", mv.Invalid)
+			}
+			fmt.Fprintf(w, "%-*s  count=%d mean=%s p90≤%s sum=%s%s\n",
+				width, mv.Name, mv.Count, fmtNum(mv.Mean), p90, fmtNum(mv.Value), invalid)
 		default:
 			fmt.Fprintf(w, "%-*s  %s\n", width, mv.Name, fmtNum(mv.Value))
 		}

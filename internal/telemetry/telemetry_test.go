@@ -363,3 +363,105 @@ func BenchmarkEnabledCounter(b *testing.B) {
 		c.Inc()
 	}
 }
+
+// TestHistogramInvalidSamples: non-finite samples are counted in
+// Invalid instead of the buckets — one NaN from a diverged solve must
+// not poison Mean/Sum for the whole run — and surface in Snapshot and
+// WriteText.
+func TestHistogramInvalidSamples(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("solve.res", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(1.5)
+	if got := h.Invalid(); got != 3 {
+		t.Errorf("Invalid() = %d, want 3", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Errorf("Count() = %d, want 2 (finite only)", got)
+	}
+	if got := h.Sum(); got != 2.0 {
+		t.Errorf("Sum() = %v, want 2 (NaN/Inf excluded)", got)
+	}
+	if m := h.Mean(); math.IsNaN(m) || m != 1.0 {
+		t.Errorf("Mean() = %v, want 1", m)
+	}
+	var found bool
+	for _, mv := range reg.Snapshot() {
+		if mv.Name == "solve.res" {
+			found = true
+			if mv.Invalid != 3 {
+				t.Errorf("snapshot Invalid = %d, want 3", mv.Invalid)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("histogram missing from snapshot")
+	}
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	if !strings.Contains(buf.String(), "invalid=3") {
+		t.Errorf("WriteText lacks invalid=3 marker:\n%s", buf.String())
+	}
+}
+
+// TestRegistryHistogramBoundsConflict: re-registering a histogram with
+// different explicit bounds returns the existing histogram (one
+// consistent bucket layout) and records the dropped request in
+// telemetry.conflicts.
+func TestRegistryHistogramBoundsConflict(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Histogram("span.ns", []float64{1, 2, 3})
+	b := reg.Histogram("span.ns", []float64{10, 20})
+	if a != b {
+		t.Fatal("conflicting bounds produced a second histogram under one name")
+	}
+	if got := reg.Counter(ConflictsMetric).Value(); got != 1 {
+		t.Errorf("conflicts = %d, want 1", got)
+	}
+	// Same bounds, or defaulted bounds, are not conflicts.
+	if c := reg.Histogram("span.ns", []float64{1, 2, 3}); c != a {
+		t.Error("same-bounds re-registration returned a new histogram")
+	}
+	if c := reg.Histogram("span.ns", nil); c != a {
+		t.Error("nil-bounds re-registration returned a new histogram")
+	}
+	if got := reg.Counter(ConflictsMetric).Value(); got != 1 {
+		t.Errorf("conflicts = %d after benign re-registrations, want 1", got)
+	}
+}
+
+// TestRegistryCrossTypeConflict: one name cannot alias two metric
+// types. The second registration gets a detached (live but
+// snapshot-invisible) metric and telemetry.conflicts is bumped.
+func TestRegistryCrossTypeConflict(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("work.items")
+	c.Add(7)
+	f := reg.FloatCounter("work.items") // same name, different type
+	f.Add(2.5)                          // detached: must not corrupt the counter
+	g := reg.Gauge("work.items")
+	g.Set(9)
+	h := reg.Histogram("work.items", nil)
+	h.Observe(1)
+	if got := reg.Counter(ConflictsMetric).Value(); got != 3 {
+		t.Errorf("conflicts = %d, want 3", got)
+	}
+	if got := c.Value(); got != 7 {
+		t.Errorf("original counter = %d, want 7", got)
+	}
+	seen := 0
+	for _, mv := range reg.Snapshot() {
+		if mv.Name == "work.items" {
+			seen++
+			if mv.Kind != KindCounter || mv.Value != 7 {
+				t.Errorf("snapshot work.items = %v %v, want counter 7", mv.Kind, mv.Value)
+			}
+		}
+	}
+	if seen != 1 {
+		t.Errorf("work.items appears %d times in snapshot, want 1", seen)
+	}
+}

@@ -13,9 +13,10 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (mpi, parallel, estimator, ode, linalg, telemetry)"
+echo "== go test -race (mpi, parallel, estimator, ode, linalg, telemetry, codegen)"
 go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/... \
-	./internal/ode/... ./internal/linalg/... ./internal/telemetry/...
+	./internal/ode/... ./internal/linalg/... ./internal/telemetry/... \
+	./internal/codegen/...
 
 echo "== fault-injection suite (-race)"
 go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stall|Crash|Abort' \
@@ -27,6 +28,9 @@ go test -fuzz=FuzzParseRDL -fuzztime=10s ./internal/rdl
 
 echo "== fuzz smoke (FuzzParseSMILES, 10s)"
 go test -fuzz=FuzzParseSMILES -fuzztime=10s ./internal/chem
+
+echo "== batched-eval smoke (rmsbench -batch, small system)"
+go run ./cmd/rmsbench -batch -variants 64 -evalms 50
 
 echo "== conformance matrix (make verify)"
 make verify
