@@ -15,6 +15,8 @@
 //	rmsbench -sweep              # workload-redundancy sensitivity sweep
 //	rmsbench -faults             # recovery overhead under injected faults
 //	rmsbench -faults -rate 0.2   # same, with 20% transient solve failures
+//	rmsbench -skew               # scheduler scaling on skewed workloads
+//	rmsbench -skew -ranks 8      # same, 8 ranks (x lanes = workers)
 //
 // Output and observability:
 //
@@ -39,12 +41,12 @@ import (
 
 // benchConfig selects which benches run and how they report.
 type benchConfig struct {
-	table                                                int
-	full, ablate, sweep, parallel, batch, sparse, faults bool
-	rate                                                 float64
-	workers, variants, evalMs                            int
-	jsonOut                                              bool
-	obs                                                  telemetry.CLI
+	table                                                      int
+	full, ablate, sweep, parallel, batch, sparse, faults, skew bool
+	rate                                                       float64
+	workers, variants, evalMs, ranks, lanes                    int
+	jsonOut                                                    bool
+	obs                                                        telemetry.CLI
 }
 
 // report is the -json document: one optional section per bench, plus the
@@ -56,6 +58,7 @@ type report struct {
 	Batch    []bench.BatchRow        `json:"batch,omitempty"`
 	Sparse   []bench.SparseRow       `json:"sparse,omitempty"`
 	Faults   []bench.FaultsRow       `json:"faults,omitempty"`
+	Skew     []bench.SkewRow         `json:"skew,omitempty"`
 	Ablation *ablationReport         `json:"ablation,omitempty"`
 	Sweep    []bench.SweepRow        `json:"sweep,omitempty"`
 	Metrics  []telemetry.MetricValue `json:"metrics,omitempty"`
@@ -81,6 +84,9 @@ func main() {
 	flag.BoolVar(&cfg.sparse, "sparse", false, "compare dense vs sparse Jacobian build + factorization")
 	flag.BoolVar(&cfg.faults, "faults", false, "measure fault-tolerance recovery overhead under injected failures")
 	flag.Float64Var(&cfg.rate, "rate", 0, "-faults: transient per-file-solve failure rate (0 = default 0.05)")
+	flag.BoolVar(&cfg.skew, "skew", false, "measure scheduler scaling on skewed workloads (static vs lpt vs sched)")
+	flag.IntVar(&cfg.ranks, "ranks", 0, "-skew: simulated rank count (0 = default 4)")
+	flag.IntVar(&cfg.lanes, "lanes", 0, "-skew: work-stealing lanes per rank (0 = default 2)")
 	flag.IntVar(&cfg.workers, "workers", 0, "max worker-pool width (-parallel sweeps 2..workers, default 8; -table 2 pools each rank, default off)")
 	flag.IntVar(&cfg.variants, "variants", 0, "-parallel/-sparse: system size (0 = defaults)")
 	flag.IntVar(&cfg.evalMs, "evalms", 300, "milliseconds of timing per configuration")
@@ -209,6 +215,20 @@ func run(w io.Writer, cfg benchConfig) error {
 		rep.Faults = rows
 		fmt.Fprintln(text, "Fault-tolerance recovery overhead (parallel objective, injected failures)")
 		fmt.Fprint(text, bench.FormatFaults(rows))
+	}
+	if cfg.skew {
+		did = true
+		sk := bench.SkewConfig{Ranks: cfg.ranks, Lanes: cfg.lanes, Metrics: reg}
+		if cfg.variants > 0 {
+			sk.Variants = cfg.variants
+		}
+		rows, err := bench.Skew(sk)
+		if err != nil {
+			return err
+		}
+		rep.Skew = rows
+		fmt.Fprintln(text, "Scheduler scaling on skewed workloads (v2 cost model + work stealing vs static plan)")
+		fmt.Fprint(text, bench.FormatSkew(rows))
 	}
 	if cfg.ablate {
 		did = true

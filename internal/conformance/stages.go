@@ -17,6 +17,7 @@ import (
 	"rms/internal/opt"
 	"rms/internal/parallel"
 	"rms/internal/rdl"
+	"rms/internal/sched"
 )
 
 // Stage is one boundary of the pipeline under differential or
@@ -46,6 +47,7 @@ var Stages = []Stage{
 	{"batch", "serial vs batched SoA tape and lockstep batched BDF", true, stageBatch},
 	{"ccomp", "Go tape vs generated-C kernel recompiled at -O0 and -O4", true, stageCComp},
 	{"estimator", "single-rank vs multi-rank estimator residuals", true, stageEstimator},
+	{"sched", "serial vs work-stealing rebalanced scheduler residuals (exact)", true, stageSched},
 	{"permute", "species-permutation invariance of compiled evaluation", true, stagePermute},
 	{"scalek", "rate-constant/time rescaling equivalence", true, stageScaleK},
 	{"conserve", "conservation-law residuals of dy and of trajectories", true, stageConserve},
@@ -419,6 +421,82 @@ func stageEstimator(cs *Case, rec *Recorder, _ float64) error {
 	// Each residual entry is computed on exactly one rank and gathered;
 	// only reduction order could differ, so the tolerance is tight.
 	rec.CheckVec("residual ranks1-vs-ranks3", r1, r3, 1e-12)
+	return nil
+}
+
+// skewedFiles is conformanceFiles with one dominant file — the shape
+// that forces the v2 scheduler to split, steal and re-plan.
+func skewedFiles(cs *Case) []*dataset.File {
+	counts := []int{60, 6, 9, 5, 7, 8}
+	files := make([]*dataset.File, len(counts))
+	for fi, n := range counts {
+		f := &dataset.File{Name: fmt.Sprintf("skew%d.dat", fi)}
+		for j := 0; j < n; j++ {
+			t := 0.4 * float64(j+1) / float64(n)
+			f.Records = append(f.Records, dataset.Record{T: t, Value: 0.1 * float64(fi+j)})
+		}
+		files[fi] = f
+	}
+	return files
+}
+
+// stageSched holds the v2 scheduler path (estimator.Config.Sched: EWMA
+// cost-model rebalancing, dominant-file splitting, work-stealing lanes)
+// to BIT-IDENTICAL residuals against the serial single-rank path — not
+// a tolerance band: the sched path's per-file contribution fold is
+// order-independent by construction, and splitting fast-forwards the
+// record prefix through the same integration, so any divergence at all
+// is a scheduler bug corrupting numerics. Two objective calls per
+// parameter point: the first runs the seed plan, the second the
+// measured, re-planned (and split) schedule.
+func stageSched(cs *Case, rec *Recorder, _ float64) error {
+	prop := func(y []float64) float64 {
+		s := 0.0
+		for _, v := range y {
+			s += v
+		}
+		return s
+	}
+	model := &estimator.Model{
+		Prog: cs.Tape, Y0: cs.Sys.Y0, Property: prop, Stiff: true,
+		AnalyticJac: cs.Jac,
+		SolverOpts:  ode.Options{RTol: 1e-7, ATol: 1e-10},
+	}
+	files := skewedFiles(cs)
+	k2 := make([]float64, len(cs.K))
+	for i, v := range cs.K {
+		k2[i] = 1.3 * v
+	}
+	resid := func(cfg estimator.Config) ([][]float64, error) {
+		e, err := estimator.New(model, files, cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer e.Close()
+		var out [][]float64
+		for _, k := range [][]float64{cs.K, k2} {
+			r := make([]float64, e.ResidualDim())
+			if err := e.Objective(k, r); err != nil {
+				return nil, err
+			}
+			out = append(out, append([]float64(nil), r...))
+		}
+		return out, nil
+	}
+	serial, err := resid(estimator.Config{Ranks: 1})
+	if err != nil {
+		return fmt.Errorf("sched serial: %w", err)
+	}
+	dyn, err := resid(estimator.Config{Ranks: 3, Sched: &sched.Config{
+		Rebalance: true, Alpha: 0.5,
+		SplitShare: 0.25, MaxParts: 3,
+		Lanes: 2, Steal: true,
+	}})
+	if err != nil {
+		return fmt.Errorf("sched dynamic: %w", err)
+	}
+	rec.CheckVec("residual serial-vs-sched call0", serial[0], dyn[0], -1)
+	rec.CheckVec("residual serial-vs-sched call1 (replanned)", serial[1], dyn[1], -1)
 	return nil
 }
 

@@ -19,7 +19,6 @@ package estimator
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"time"
 
@@ -30,6 +29,7 @@ import (
 	"rms/internal/nlopt"
 	"rms/internal/ode"
 	"rms/internal/parallel"
+	"rms/internal/sched"
 	"rms/internal/stats"
 	"rms/internal/telemetry"
 )
@@ -83,6 +83,20 @@ type Config struct {
 	// integration tolerance — the lockstep step control max-reduces error
 	// norms across a rank's files, so the step sequences differ.
 	Batch bool
+	// Sched, when non-nil with Rebalance set, replaces the per-call LPT
+	// reassignment with the v2 scheduler (package sched, see
+	// docs/load-balancing.md): a persistent per-file EWMA cost model
+	// seeded from record counts, cost-model-driven re-planning between
+	// objective calls, optional dominant-file splitting into record
+	// sub-ranges, and optional intra-rank work stealing between lanes.
+	// Residual accumulation on this path is order-independent (per-file
+	// contribution buffers folded in ascending file order), so fits stay
+	// bit-identical to the serial path for any plan, lane count or steal
+	// schedule. Nil — or Rebalance false — keeps the v1 behavior exactly;
+	// LoadBalance and Batch are ignored while the v2 scheduler is active
+	// (it owns the schedule), and Workers pools attach only when
+	// Sched.Lanes == 1 (lanes are already the intra-rank parallelism).
+	Sched *sched.Config
 	// FaultTolerant enables graceful degradation (docs/fault-tolerance.md):
 	// failed file solves are retried per Retry and then penalized instead
 	// of aborting the fit, residual accumulation is guarded against
@@ -121,9 +135,13 @@ type Config struct {
 type estMetrics struct {
 	objectives *telemetry.Counter
 	fileSolves *telemetry.Counter
-	solveNs    *telemetry.Histogram // modeled per-file solve cost, ns
+	solveNs    *telemetry.Histogram // modeled successful-solve cost, ns
+	retryNs    *telemetry.Histogram // modeled cost of failed solve attempts, ns
 	stepSize   *telemetry.Histogram // |h| of every adaptive step attempt
 	imbalance  *telemetry.Gauge     // makespan / mean rank load, last call
+
+	schedSteals, schedSplits, schedReplans *telemetry.Counter
+	costErr                                *telemetry.Histogram // relative cost-model error per file per call
 
 	steps, rejected, fevals, jevals  *telemetry.Counter
 	newtonIters, factorizations      *telemetry.Counter
@@ -138,11 +156,20 @@ type estMetrics struct {
 // from deep transients to free-running cruise.
 var stepSizeBuckets = []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
 
+// costErrBuckets spans relative cost-model misprediction from "converged"
+// (<1%) to "off by 5x" — the range that decides whether re-planning helps.
+var costErrBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5}
+
 func newEstMetrics(reg *telemetry.Registry) estMetrics {
 	return estMetrics{
 		objectives:           reg.Counter("estimator.objective_calls"),
 		fileSolves:           reg.Counter("estimator.file_solves"),
 		solveNs:              reg.Histogram("estimator.file_solve_ns", nil),
+		retryNs:              reg.Histogram("estimator.file_retry_ns", nil),
+		schedSteals:          reg.Counter("sched.steals"),
+		schedSplits:          reg.Counter("sched.splits"),
+		schedReplans:         reg.Counter("sched.replans"),
+		costErr:              reg.Histogram("sched.cost_err_rel", costErrBuckets),
 		stepSize:             reg.Histogram("ode.step_size", stepSizeBuckets),
 		imbalance:            reg.Gauge("estimator.imbalance"),
 		steps:                reg.Counter("ode.steps"),
@@ -189,6 +216,16 @@ type Estimator struct {
 	// pools[r] is rank r's worker pool for intra-rank parallel tape
 	// evaluation (nil without cfg.Workers).
 	pools []*parallel.Pool
+
+	// v2 scheduler state (all zero without cfg.Sched.Rebalance):
+	// schedCfg is cfg.Sched with defaults resolved, cost the persistent
+	// per-file EWMA model, plans the per-rank item plans for the next
+	// call, nrecs the per-file record counts (split bounds + model seed).
+	schedCfg   sched.Config
+	cost       *sched.CostModel
+	plans      [][]sched.Item
+	nrecs      []int
+	schedStats SchedStats
 
 	// retry is cfg.Retry with defaults resolved.
 	retry RetryPolicy
@@ -237,6 +274,30 @@ func New(model *Model, files []*dataset.File, cfg Config) (*Estimator, error) {
 	e.assignment = blockAssign(len(files), cfg.Ranks)
 	e.met = newEstMetrics(cfg.Metrics) // nil registry → all-no-op handles
 	e.lane = cfg.Trace.Lane("estimator")
+	if cfg.Sched != nil && cfg.Sched.Rebalance {
+		sc := cfg.Sched.WithDefaults()
+		if cfg.FaultTolerant || cfg.Faults != nil {
+			// The retry/penalty machinery operates on whole files (one
+			// scratch fold or penalty per file); record sub-ranges would
+			// double-penalize, so splits are file-granularity here.
+			sc.SplitShare = 0
+		}
+		e.schedCfg = sc
+		e.nrecs = make([]int, len(files))
+		seed := make([]float64, len(files))
+		for i, f := range files {
+			e.nrecs[i] = f.NumRecords()
+			seed[i] = float64(e.nrecs[i])
+		}
+		e.cost = sched.NewCostModel(len(files), sc.Alpha)
+		e.cost.Seed(seed)
+		// Iteration-0 plan: LPT over the static a-priori estimate, the
+		// only cost signal that exists before the first call.
+		var splits int
+		e.plans, splits = sched.Plan(seed, e.nrecs, cfg.Ranks, sc)
+		e.schedStats.Splits += splits
+		e.met.schedSplits.Add(int64(splits))
+	}
 	if cfg.Workers > 1 {
 		// One pool per rank: ranks evaluate concurrently, and sharing a
 		// pool would serialize their tape sweeps against each other.
@@ -380,6 +441,9 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 		e.lane.Begin(fmt.Sprintf("objective #%d", e.calls))
 		defer e.lane.End()
 	}
+	if e.schedEnabled() {
+		return e.objectiveSched(k, residual, start)
+	}
 	nf := len(e.files)
 	assignment := e.assignment
 	ranks := e.cfg.Ranks
@@ -494,9 +558,13 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 				lane.Begin("solve " + e.files[fi].Name)
 			}
 			if e.cfg.FaultTolerant {
-				st, retries, penalized := e.solveFileFT(ev, pool, e.files[fi], k, scratch, localErr, call, c.Rank(), fi)
+				st, _, retries, penalized := e.solveFileFT(ev, pool, e.files[fi], k, scratch, localErr, call, c.Rank(), fi)
 				localTime[fi] = e.workOps(st)
-				e.publishSolve(st)
+				// solveFileFT feeds the per-attempt cost histograms itself
+				// (successes and retries land in separate ones); only the
+				// cumulative solver counters remain to publish here.
+				e.met.fileSolves.Inc()
+				e.met.publishStats(st)
 				e.met.retries.Add(int64(retries))
 				if retries > 0 || penalized {
 					e.recMu.Lock()
@@ -547,6 +615,20 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 // them between attempts). It returns the solver work statistics, the
 // per-file cost measure.
 func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dataset.File, k []float64, errvec []float64, opts ode.Options) (ode.Stats, error) {
+	return e.solveFileRange(ev, pool, f, k, errvec, opts, 0, len(f.Records))
+}
+
+// solveFileRange is solveFile restricted to emitting records [lo, hi):
+// the trajectory is integrated from t=0 through record hi-1 exactly as
+// the whole-file solve would (one ODE trajectory is inherently
+// sequential — the prefix [0, lo) must be fast-forwarded through the
+// same adaptive integration, so a sub-range's emitted residuals are
+// bit-identical to the corresponding slice of the whole-file solve),
+// but only records >= lo contribute to errvec. This exactness is what
+// lets the v2 scheduler split a dominant file across ranks without
+// perturbing the fit; the cost asymmetry it implies (a later sub-range
+// costs nearly the whole file) is documented in docs/load-balancing.md.
+func (e *Estimator) solveFileRange(ev *codegen.Evaluator, pool *parallel.Pool, f *dataset.File, k []float64, errvec []float64, opts ode.Options, lo, hi int) (ode.Stats, error) {
 	n := e.model.Prog.NumY
 	y := make([]float64, n)
 	copy(y, e.model.Y0)
@@ -593,12 +675,16 @@ func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dat
 		errf = func(sim, obs float64) float64 { return sim - obs }
 	}
 	t := 0.0
-	for j, rec := range f.Records {
+	for j := 0; j < hi; j++ {
+		rec := f.Records[j]
 		if rec.T > t {
 			if err := solver.Integrate(t, rec.T, y); err != nil {
 				return solver.Stats(), err
 			}
 			t = rec.T
+		}
+		if j < lo {
+			continue // fast-forward: integrate the prefix, emit nothing
 		}
 		sim := e.model.Property(y)
 		errvec[j] += errf(sim, rec.Value)
@@ -607,8 +693,11 @@ func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dat
 }
 
 // useBatch reports whether objective calls take the batched solve path.
+// The v2 scheduler owns per-item scheduling, so Batch is ignored under it
+// (the lockstep batch solve is one indivisible unit per rank).
 func (e *Estimator) useBatch() bool {
-	return e.cfg.Batch && e.model.Stiff && !e.cfg.FaultTolerant && e.cfg.Faults == nil
+	return e.cfg.Batch && e.model.Stiff && !e.cfg.FaultTolerant && e.cfg.Faults == nil &&
+		!e.schedEnabled()
 }
 
 // ascendingRecords reports whether a file's record times are
@@ -792,32 +881,12 @@ func blockAssign(nFiles, ranks int) [][]int {
 // allocated to the rank with the least total allocated time so far. The
 // result is fully deterministic: equal solve times break toward the
 // lower file index, and a tie between rank loads goes to the lower rank,
-// so repeated calls with the same times give the same assignment.
+// so repeated calls with the same times give the same assignment. The
+// algorithm now lives in package sched (the v2 scheduler plans whole
+// files through the identical rule); this wrapper keeps the historical
+// v1 entry point.
 func AssignLPT(times []float64, ranks int) [][]int {
-	order := make([]int, len(times))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := times[order[a]], times[order[b]]
-		if ta != tb {
-			return ta > tb
-		}
-		return order[a] < order[b]
-	})
-	out := make([][]int, ranks)
-	loads := make([]float64, ranks)
-	for _, fi := range order {
-		r := 0
-		for q := 1; q < ranks; q++ {
-			if loads[q] < loads[r] {
-				r = q
-			}
-		}
-		out[r] = append(out[r], fi)
-		loads[r] += times[fi]
-	}
-	return out
+	return sched.LPT(times, ranks)
 }
 
 // Makespan returns the maximum per-rank total time of an assignment —

@@ -165,13 +165,25 @@ func (e *Estimator) retryOpts(f *dataset.File, attempt int) ode.Options {
 // integrates into scratch (so a half-failed attempt contributes
 // nothing); success folds scratch into errvec, and exhausted or
 // non-retryable failures fold in the penalty instead. It returns the
-// accumulated solver work across attempts, the number of retries
-// performed, and whether the file ended penalized.
-func (e *Estimator) solveFileFT(ev *codegen.Evaluator, pool *parallel.Pool, f *dataset.File, k []float64, scratch, errvec []float64, call, rank, fi int) (total ode.Stats, retries int, penalized bool) {
+// accumulated solver work across attempts, the work of the SUCCESSFUL
+// attempt alone (zero stats when the file ended penalized), the number
+// of retries performed, and whether the file ended penalized.
+//
+// Cost-histogram publication happens here, keyed by attempt outcome:
+// only the successful attempt's cost enters estimator.file_solve_ns —
+// the histogram the cost model reads — while every failed attempt's
+// cost goes to estimator.file_retry_ns. Bucketing retries together with
+// clean solves (the pre-v2 behavior) inflated a file's apparent cost by
+// up to MaxAttempts× after one bad LM trial point, and the EWMA would
+// then mis-plan several subsequent calls; the scheduler's model is fed
+// from the successful-attempt measure alone for the same reason.
+func (e *Estimator) solveFileFT(ev *codegen.Evaluator, pool *parallel.Pool, f *dataset.File, k []float64, scratch, errvec []float64, call, rank, fi int) (total, success ode.Stats, retries int, penalized bool) {
 	pol := e.retry
 	nr := f.NumRecords()
 	for attempt := 0; ; attempt++ {
 		var err error
+		attempted := false
+		var st ode.Stats
 		if e.cfg.Faults != nil {
 			err = e.cfg.Faults.FileSolve(call, rank, fi, attempt)
 		}
@@ -179,7 +191,7 @@ func (e *Estimator) solveFileFT(ev *codegen.Evaluator, pool *parallel.Pool, f *d
 			for i := 0; i < nr; i++ {
 				scratch[i] = 0
 			}
-			var st ode.Stats
+			attempted = true
 			st, err = e.solveFile(ev, pool, f, k, scratch, e.retryOpts(f, attempt))
 			addStats(&total, st)
 			if err == nil && !finite(scratch[:nr]) {
@@ -190,13 +202,17 @@ func (e *Estimator) solveFileFT(ev *codegen.Evaluator, pool *parallel.Pool, f *d
 			for i := 0; i < nr; i++ {
 				errvec[i] += scratch[i]
 			}
-			return total, attempt, false
+			e.met.solveNs.Observe(e.workOps(st) * e.secPerOp * 1e9)
+			return total, st, attempt, false
+		}
+		if attempted {
+			e.met.retryNs.Observe(e.workOps(st) * e.secPerOp * 1e9)
 		}
 		if attempt+1 >= pol.MaxAttempts || !retryable(err) {
 			for i := 0; i < nr; i++ {
 				errvec[i] += pol.Penalty
 			}
-			return total, attempt, true
+			return total, ode.Stats{}, attempt, true
 		}
 	}
 }

@@ -237,3 +237,45 @@ func TestRunSerialFallbackTelemetry(t *testing.T) {
 		t.Errorf("pool.dispatches = %d, want 0", got)
 	}
 }
+
+// TestRunLaneExitWithStealInFlight drives Run's atomic-cursor work
+// stealing through the scheduler-critical interleaving: fast lanes
+// exhaust the cursor and EXIT while a slow lane still executes a stolen
+// task. Run must not return until every task has completed, no task may
+// run twice, and the last task claimed (the steal in flight when the
+// other lanes exited) must be fully observed by the caller — under
+// -race, a straggler writing after Run returns would be reported as a
+// race with the verification reads below.
+func TestRunLaneExitWithStealInFlight(t *testing.T) {
+	const workers, tasks = 4, 64
+	p := NewPool(workers)
+	defer p.Close()
+	for trial := 0; trial < 200; trial++ {
+		var ran [tasks]int32
+		var running atomic.Int32
+		p.Run(tasks, func(task int) {
+			if n := running.Add(1); n > workers {
+				t.Errorf("trial %d: %d concurrent tasks on a %d-wide pool", trial, n, workers)
+			}
+			// Task 0 is the slow lane: everyone else drains the cursor
+			// and exits while it is still "in flight".
+			if task == 0 {
+				for i := 0; i < 100; i++ {
+					runtime.Gosched()
+				}
+			}
+			atomic.AddInt32(&ran[task], 1)
+			running.Add(-1)
+		})
+		// Plain (non-atomic) reads: any task still executing past Run's
+		// return is a data race the -race build will flag.
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("trial %d: task %d ran %d times", trial, i, n)
+			}
+		}
+		if running.Load() != 0 {
+			t.Fatalf("trial %d: Run returned with tasks still running", trial)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sched
+
+import "math"
+
+// CostModel is the persistent per-item cost predictor: one EWMA per data
+// file, seeded from the static a-priori estimate (record counts) before
+// the first objective call and updated with measured solve costs after
+// every call.
+//
+// The seed and the measurements are in different units (records vs
+// solver op units), so the first measurement for an item *replaces* the
+// seed instead of averaging against it; the EWMA applies from the second
+// measurement on. With alpha == 0 the model is constant: predictions
+// stay frozen at the seed forever and Observe only tracks error. That is
+// the degenerate model the LPT-parity property test runs on.
+type CostModel struct {
+	alpha float64
+	pred  []float64
+	hits  []int
+}
+
+// NewCostModel returns a model for n items with EWMA weight alpha in
+// [0, 1]. alpha == 0 freezes predictions at the seed (constant model).
+func NewCostModel(n int, alpha float64) *CostModel {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &CostModel{alpha: alpha, pred: make([]float64, n), hits: make([]int, n)}
+}
+
+// Len returns the number of items the model tracks.
+func (c *CostModel) Len() int { return len(c.pred) }
+
+// Alpha returns the EWMA weight.
+func (c *CostModel) Alpha() float64 { return c.alpha }
+
+// Seed sets the a-priori predictions (typically record counts). It does
+// not count as an observation.
+func (c *CostModel) Seed(est []float64) {
+	copy(c.pred, est)
+}
+
+// Observe folds one measured cost for item i into the model and returns
+// the relative prediction error |measured-predicted|/predicted made
+// *before* the update, plus whether this was the item's first
+// measurement (where the error is against the unit-mismatched seed and
+// should not be read as model quality). Non-finite or non-positive
+// measurements are ignored (relErr NaN) — the fault-tolerant path feeds
+// only successful-attempt costs here, but a penalized file reports zero.
+func (c *CostModel) Observe(i int, measured float64) (relErr float64, first bool) {
+	if !(measured > 0) || math.IsInf(measured, 0) {
+		return math.NaN(), false
+	}
+	prev := c.pred[i]
+	if prev > 0 {
+		relErr = math.Abs(measured-prev) / prev
+	} else {
+		relErr = math.NaN()
+	}
+	first = c.hits[i] == 0
+	if c.alpha == 0 {
+		// Constant model: record the observation count but never move.
+		c.hits[i]++
+		return relErr, first
+	}
+	if first {
+		// Seed units (records) are not measurement units (op units):
+		// the first real measurement replaces the seed outright.
+		c.pred[i] = measured
+	} else {
+		c.pred[i] = prev + c.alpha*(measured-prev)
+	}
+	c.hits[i]++
+	return relErr, first
+}
+
+// Predict returns the current cost prediction for item i.
+func (c *CostModel) Predict(i int) float64 { return c.pred[i] }
+
+// Predictions returns a copy of all current predictions.
+func (c *CostModel) Predictions() []float64 {
+	out := make([]float64, len(c.pred))
+	copy(out, c.pred)
+	return out
+}
+
+// Observations returns how many measurements item i has folded in.
+func (c *CostModel) Observations(i int) int { return c.hits[i] }

@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStealSetRunConcurrentStealsFromOneVictim loads lane 0 with every
+// item and starves the other lanes, so all of them hammer the same
+// victim concurrently. Run under -race via scripts/check.sh. Each item
+// must execute exactly once and contribute exactly once to a shared sum.
+func TestStealSetRunConcurrentStealsFromOneVictim(t *testing.T) {
+	const lanes, items = 8, 1000
+	queue := make([]Item, items)
+	for i := range queue {
+		queue[i] = Item{File: i, Hi: 1, Cost: 1, Seq: i}
+	}
+	queues := make([][]Item, lanes)
+	queues[0] = queue
+
+	var executed [items]int32
+	var sum int64
+	// Lane 0 parks on its first item until some thief has run one, so
+	// the owner can't drain the whole deque before the thief goroutines
+	// are even scheduled — the concurrent owner-pop vs back-steal
+	// interleaving is what this test exists to race.
+	stolen := make(chan struct{})
+	var once sync.Once
+	set := NewStealSet(queues, true)
+	set.Run(func(lane int, it Item, victim int) {
+		if lane != 0 {
+			once.Do(func() { close(stolen) })
+		} else if it.Seq == 0 {
+			<-stolen
+		}
+		atomic.AddInt32(&executed[it.Seq], 1)
+		atomic.AddInt64(&sum, int64(it.File))
+		if lane != 0 && victim != 0 {
+			// The only queue with work is lane 0's, so every foreign
+			// lane's item must have been stolen from it.
+			t.Errorf("lane %d got item %d from victim %d, want 0", lane, it.Seq, victim)
+		}
+	})
+
+	for i, n := range executed {
+		if n != 1 {
+			t.Fatalf("item %d executed %d times", i, n)
+		}
+	}
+	if want := int64(items) * (items - 1) / 2; sum != want {
+		t.Fatalf("sum=%d, want %d", sum, want)
+	}
+	if set.Steals() == 0 {
+		t.Fatal("starved lanes never stole")
+	}
+}
+
+// TestStealSetRunLaneExitWithStealInFlight makes lanes exit while other
+// lanes are mid-steal: uneven queues mean fast lanes go dry and race
+// Next against lanes still draining. Every item must still execute
+// exactly once and Run must not return early.
+func TestStealSetRunLaneExitWithStealInFlight(t *testing.T) {
+	const lanes = 6
+	for trial := 0; trial < 50; trial++ {
+		queues := make([][]Item, lanes)
+		total := 0
+		for l := 0; l < lanes; l++ {
+			n := (l * 7) % 5 // several lanes start empty
+			for i := 0; i < n; i++ {
+				queues[l] = append(queues[l], Item{File: total, Hi: 1, Cost: float64(1 + i)})
+				total++
+			}
+		}
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		set := NewStealSet(queues, true)
+		set.Run(func(lane int, it Item, victim int) {
+			mu.Lock()
+			seen[it.File]++
+			mu.Unlock()
+		})
+		if len(seen) != total {
+			t.Fatalf("trial %d: executed %d distinct items, want %d", trial, len(seen), total)
+		}
+		for f, n := range seen {
+			if n != 1 {
+				t.Fatalf("trial %d: item %d executed %d times", trial, f, n)
+			}
+		}
+	}
+}

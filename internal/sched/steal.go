@@ -1,0 +1,131 @@
+package sched
+
+import "sync"
+
+// StealSet is the intra-rank work-stealing structure: one deque per
+// lane, all protected by a single mutex (queues are short — tens of
+// items — so one lock beats per-deque CAS protocols here, and it keeps
+// the steal decision "pick the busiest victim" atomic). Lanes pop their
+// own deque from the front; a dry lane steals one item from the BACK of
+// the victim with the highest pending predicted cost (ties broken by
+// lowest lane index). Back-stealing takes the victim's largest-position
+// (latest-scheduled) item, which is the classic deque discipline: the
+// owner keeps working the front it is already warm on.
+type StealSet struct {
+	mu      sync.Mutex
+	queues  [][]Item
+	pending []float64 // predicted cost still queued per lane
+	steal   bool
+	steals  int
+}
+
+// NewStealSet wraps per-lane queues. steal == false turns Next into a
+// plain own-queue pop (lanes never touch each other's deques).
+func NewStealSet(queues [][]Item, steal bool) *StealSet {
+	s := &StealSet{
+		queues:  make([][]Item, len(queues)),
+		pending: make([]float64, len(queues)),
+		steal:   steal,
+	}
+	for l, q := range queues {
+		// Copy: Next mutates the slices, callers keep their plans.
+		s.queues[l] = append([]Item(nil), q...)
+		for _, it := range q {
+			s.pending[l] += it.Cost
+		}
+	}
+	return s
+}
+
+// Lanes returns the number of lanes in the set.
+func (s *StealSet) Lanes() int { return len(s.queues) }
+
+// Next returns the next item for lane, preferring the lane's own front.
+// When the lane's deque is dry and stealing is on, it takes the back
+// item of the busiest victim (max pending cost, ties → lowest index).
+// victim is -1 for an own-queue pop, the victim's lane otherwise.
+// ok == false means no work is left anywhere this lane may reach.
+func (s *StealSet) Next(lane int) (it Item, victim int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.queues[lane]; len(q) > 0 {
+		it = q[0]
+		s.queues[lane] = q[1:]
+		s.pending[lane] -= it.Cost
+		return it, -1, true
+	}
+	if !s.steal {
+		return Item{}, -1, false
+	}
+	victim = -1
+	for l := range s.queues {
+		if l == lane || len(s.queues[l]) == 0 {
+			continue
+		}
+		if victim == -1 || s.pending[l] > s.pending[victim] {
+			victim = l
+		}
+	}
+	if victim == -1 {
+		return Item{}, -1, false
+	}
+	q := s.queues[victim]
+	it = q[len(q)-1]
+	s.queues[victim] = q[:len(q)-1]
+	s.pending[victim] -= it.Cost
+	s.steals++
+	return it, victim, true
+}
+
+// Steals returns how many Next calls were satisfied by stealing.
+func (s *StealSet) Steals() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steals
+}
+
+// Pending returns the queued predicted cost of one lane (test hook).
+func (s *StealSet) Pending(lane int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending[lane]
+}
+
+// Run drains the set concurrently: one goroutine per lane beyond lane 0,
+// which runs on the caller. exec is called once per item with the lane
+// that executed it and the victim lane it was stolen from (-1 if own).
+// exec must be safe for concurrent calls on distinct items. Run returns
+// after every item has been executed and every lane has exited — a lane
+// exits only once Next finds nothing reachable, so a steal in flight on
+// a dying victim's deque is always completed by the thief.
+func (s *StealSet) Run(exec func(lane int, it Item, victim int)) {
+	lanes := len(s.queues)
+	if lanes == 1 {
+		for {
+			it, v, ok := s.Next(0)
+			if !ok {
+				return
+			}
+			exec(0, it, v)
+		}
+	}
+	var wg sync.WaitGroup
+	drain := func(lane int) {
+		for {
+			it, v, ok := s.Next(lane)
+			if !ok {
+				return
+			}
+			exec(lane, it, v)
+		}
+	}
+	wg.Add(lanes - 1)
+	for l := 1; l < lanes; l++ {
+		go func(lane int) {
+			defer wg.Done()
+			drain(lane)
+		}(l)
+	}
+	drain(0)
+	wg.Wait()
+}

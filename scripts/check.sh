@@ -13,10 +13,10 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (mpi, parallel, estimator, ode, linalg, telemetry, codegen)"
+echo "== go test -race (mpi, parallel, estimator, sched, ode, linalg, telemetry, codegen)"
 go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/... \
-	./internal/ode/... ./internal/linalg/... ./internal/telemetry/... \
-	./internal/codegen/...
+	./internal/sched/... ./internal/ode/... ./internal/linalg/... \
+	./internal/telemetry/... ./internal/codegen/...
 
 echo "== fault-injection suite (-race)"
 go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stall|Crash|Abort' \
@@ -31,6 +31,9 @@ go test -fuzz=FuzzParseSMILES -fuzztime=10s ./internal/chem
 
 echo "== batched-eval smoke (rmsbench -batch, small system)"
 go run ./cmd/rmsbench -batch -variants 64 -evalms 50
+
+echo "== scheduler skew smoke (rmsbench -skew, small model)"
+go run ./cmd/rmsbench -skew -variants 8
 
 echo "== conformance matrix (make verify)"
 make verify
