@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check race fuzz bench faults verify
+.PHONY: build test check race fuzz bench faults verify chaos
 
 build:
 	go build ./...
@@ -33,6 +33,19 @@ verify:
 faults:
 	go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stall|Crash|Abort' \
 		./internal/faults/... ./internal/mpi ./internal/estimator ./internal/nlopt
+
+# The chaos soak (docs/checkpointing.md): every graceful-degradation
+# ladder driven by injected faults under the race detector, plus the
+# budget/cancellation, checkpoint/resume and SIGINT-interrupt paths of
+# the estimator, solvers, optimizer and both CLI front ends.
+chaos:
+	go test -race -run 'Chaos|Budget|Degrad|Demot|Hang|Timeout|Snapshot|Resume|Checkpoint|Interrupt|Deadline|Cancel' \
+		./internal/budget ./internal/estimator \
+		./internal/ode ./internal/nlopt ./internal/faults/... \
+		./internal/sched ./internal/parallel ./internal/mpi \
+		./cmd/rmsrun ./cmd/rmssim
+	go test -race ./internal/checkpoint
+	go run ./cmd/rmsverify -seed 7 -n 3 -size 10 -stages resume
 
 bench:
 	go test -bench . -benchtime 1s ./internal/bench/ .

@@ -14,15 +14,29 @@
 //	-metrics           print the telemetry registry after the fit
 //	-pprof addr        serve net/http/pprof on addr (e.g. localhost:6060)
 //	-cpuprofile f      write a CPU profile to f
+//
+// Robustness:
+//
+//	-checkpoint f      write a resumable snapshot at every LM iteration
+//	-resume            continue a fit from the -checkpoint file
+//	-deadline d        cancel the fit after d (e.g. 10m); with -checkpoint
+//	                   the run stops resumable instead of dying mid-fit.
+//	                   SIGINT does the same: the current iteration finishes,
+//	                   the checkpoint holds the last boundary, and a later
+//	                   -resume run continues bit-identically.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"time"
 
+	"rms/internal/budget"
+	"rms/internal/checkpoint"
 	"rms/internal/core"
 	"rms/internal/dataset"
 	"rms/internal/estimator"
@@ -57,6 +71,24 @@ func observeLM(reg *telemetry.Registry) func(nlopt.IterEvent) {
 	}
 }
 
+// runOpts bundles the fit configuration; the checkpoint/resume/deadline
+// fields and the injectable interrupt channel are the robustness layer.
+type runOpts struct {
+	variants, ranks, maxIter, free int
+	dataDir                        string
+	lb                             bool
+	obs                            telemetry.CLI
+	// checkpointPath enables iteration-boundary snapshots; resume loads
+	// one before fitting. deadline (0 = none) bounds the whole fit.
+	checkpointPath string
+	resume         bool
+	deadline       time.Duration
+	// interrupt delivers SIGINT (or, in tests, a synthetic signal); a
+	// receipt cancels the fit's budget so the run stops at the next
+	// cooperative check with the checkpoint intact.
+	interrupt <-chan os.Signal
+}
+
 func main() {
 	var (
 		variants = flag.Int("variants", 60, "chain-length variants per family")
@@ -69,21 +101,56 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the telemetry metrics registry after the fit")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		ckpt     = flag.String("checkpoint", "", "write a resumable snapshot to this file at every LM iteration boundary")
+		resume   = flag.Bool("resume", false, "resume the fit from the -checkpoint file")
+		deadline = flag.Duration("deadline", 0, "cancel the fit after this long (0 = no deadline)")
 	)
 	flag.Parse()
-	obs := telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof, CPUProfile: *cpuProf}
-	if err := run(*variants, *dataDir, *ranks, *lb, *maxIter, *free, obs); err != nil {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	o := runOpts{
+		variants: *variants, ranks: *ranks, maxIter: *maxIter, free: *free,
+		dataDir: *dataDir, lb: *lb,
+		obs:            telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof, CPUProfile: *cpuProf},
+		checkpointPath: *ckpt, resume: *resume, deadline: *deadline,
+		interrupt: sig,
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "rmsrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(variants int, dataDir string, ranks int, lb bool, maxIter, free int, obs telemetry.CLI) error {
+func run(o runOpts) error {
+	variants, dataDir, ranks := o.variants, o.dataDir, o.ranks
+	lb, maxIter, free, obs := o.lb, o.maxIter, o.free, o.obs
+	if o.resume && o.checkpointPath == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
 	tracer, reg, finish, err := obs.Setup()
 	if err != nil {
 		return err
 	}
 	mainLane := tracer.Lane("main") // nil tracer → nil lane, all no-ops
+
+	// The fit budget: a deadline if requested, cancelled early by SIGINT.
+	// Both stop the run at the next cooperative check; with -checkpoint
+	// the snapshot from the last completed iteration stays resumable.
+	bud := budget.New()
+	if o.deadline > 0 {
+		bud = bud.WithDeadline(o.deadline)
+	}
+	defer bud.Cancel("run finished")
+	if o.interrupt != nil {
+		go func() {
+			select {
+			case <-o.interrupt:
+				fmt.Fprintln(os.Stderr, "rmsrun: interrupt — stopping at the next iteration boundary")
+				bud.Cancel("interrupt signal")
+			case <-bud.Done():
+			}
+		}()
+	}
 
 	mainLane.Begin("load data")
 	paths, err := filepath.Glob(filepath.Join(dataDir, "exp*.dat"))
@@ -127,6 +194,7 @@ func run(variants int, dataDir string, ranks int, lb bool, maxIter, free int, ob
 		ode.Options{RTol: 1e-9, ATol: 1e-12})
 	est, err := estimator.New(model, files, estimator.Config{
 		Ranks: ranks, LoadBalance: lb, Trace: tracer, Metrics: reg,
+		Budget: bud,
 	})
 	if err != nil {
 		return err
@@ -152,10 +220,36 @@ func run(variants int, dataDir string, ranks int, lb bool, maxIter, free int, ob
 	if reg != nil {
 		lmOpts.Observer = observeLM(reg)
 	}
+	if o.checkpointPath != "" {
+		lmOpts.Checkpoint = func(cs nlopt.CheckState) error {
+			return checkpoint.SaveRun(o.checkpointPath, checkpoint.RunState{
+				Opt: cs, Est: est.Snapshot(),
+			})
+		}
+	}
+	if o.resume {
+		st, err := checkpoint.LoadRun(o.checkpointPath)
+		if err != nil {
+			return err
+		}
+		if err := est.Restore(st.Est); err != nil {
+			return err
+		}
+		lmOpts.Resume = &st.Opt
+		fmt.Printf("resumed from %s: iteration %d, %d objective calls done\n",
+			o.checkpointPath, st.Opt.Iter, st.Est.Calls)
+	}
 	mainLane.Begin("estimate")
 	fit, err := est.Estimate(start, lower, upper, lmOpts)
 	mainLane.End()
 	if err != nil {
+		if budget.Exhausted(err) {
+			fmt.Printf("fit stopped early: %v\n", err)
+			if o.checkpointPath != "" {
+				fmt.Printf("checkpoint at %s — continue with -resume\n", o.checkpointPath)
+			}
+			return finish()
+		}
 		return err
 	}
 	fmt.Printf("converged=%v iterations=%d rnorm=%.3g objective calls=%d\n",

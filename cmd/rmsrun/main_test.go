@@ -2,12 +2,16 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 
+	"rms/internal/checkpoint"
 	"rms/internal/dataset"
 	"rms/internal/telemetry"
 )
@@ -31,18 +35,137 @@ func synthData(t *testing.T) string {
 	return dir
 }
 
+// baseOpts is the small, fast configuration the tests run.
+func baseOpts(dataDir string) runOpts {
+	return runOpts{
+		variants: 9, dataDir: dataDir, ranks: 2, lb: true, maxIter: 3, free: 1,
+	}
+}
+
 func TestRunEstimation(t *testing.T) {
-	dir := synthData(t)
 	// A short run must complete without error; recovery quality is covered
 	// by the estimator and integration tests.
-	if err := run(9, dir, 2, true, 3, 1, telemetry.CLI{}); err != nil {
+	if err := run(baseOpts(synthData(t))); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingData(t *testing.T) {
-	if err := run(9, t.TempDir(), 1, false, 1, 1, telemetry.CLI{}); err == nil {
+	o := baseOpts(t.TempDir())
+	o.ranks, o.lb, o.maxIter = 1, false, 1
+	if err := run(o); err == nil {
 		t.Error("empty data dir accepted")
+	}
+}
+
+func TestRunResumeNeedsCheckpoint(t *testing.T) {
+	o := baseOpts(synthData(t))
+	o.resume = true
+	if err := run(o); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+}
+
+// TestRunCheckpointResume is the end-to-end resume check: a fit
+// interrupted by maxIter, resumed from its checkpoint file, must march
+// on from the recorded iteration rather than starting over.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := synthData(t)
+	ckpt := filepath.Join(t.TempDir(), "fit.ckpt")
+
+	o := baseOpts(dir)
+	o.maxIter = 2
+	o.checkpointPath = ckpt
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.LoadRun(ckpt)
+	if err != nil {
+		t.Fatalf("no checkpoint after the first run: %v", err)
+	}
+	if st.Opt.Iter == 0 || st.Est.Calls == 0 {
+		t.Fatalf("checkpoint is empty: iter=%d calls=%d", st.Opt.Iter, st.Est.Calls)
+	}
+
+	o.maxIter = 4
+	o.resume = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := checkpoint.LoadRun(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resumed fit may converge on its first iteration (Iter stays
+	// put), but its objective-call counter must continue from the
+	// restored state — a restart from scratch would reset it.
+	if st2.Opt.Iter < st.Opt.Iter || st2.Est.Calls <= st.Est.Calls {
+		t.Errorf("resume did not continue: iter %d→%d, calls %d→%d",
+			st.Opt.Iter, st2.Opt.Iter, st.Est.Calls, st2.Est.Calls)
+	}
+}
+
+// TestRunInterruptLeavesResumableCheckpoint delivers a synthetic SIGINT
+// through the injectable interrupt channel: the run must stop reporting
+// a budget cancellation (not a crash), leave a loadable checkpoint, and
+// a -resume run must then finish the fit.
+func TestRunInterruptLeavesResumableCheckpoint(t *testing.T) {
+	dir := synthData(t)
+	ckpt := filepath.Join(t.TempDir(), "fit.ckpt")
+
+	sig := make(chan os.Signal, 1)
+	sig <- os.Interrupt // queued: cancels the budget at the first check
+	o := baseOpts(dir)
+	o.maxIter = 5
+	o.checkpointPath = ckpt
+	o.interrupt = sig
+	if err := run(o); err != nil {
+		t.Fatalf("interrupted run must exit cleanly, got %v", err)
+	}
+	if _, err := checkpoint.LoadRun(ckpt); err == nil {
+		// An immediate interrupt may beat the first checkpoint; either no
+		// file (nothing completed) or a loadable one is acceptable. A torn
+		// or corrupt file is not — LoadRun distinguishes via ErrCorrupt.
+	} else if errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("interrupt left a corrupt checkpoint: %v", err)
+	} else if !os.IsNotExist(errors.Unwrap(errors.Unwrap(err))) && !strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("unexpected checkpoint state: %v", err)
+	}
+
+	// Let one iteration land a checkpoint, interrupt later, then resume.
+	o.interrupt = nil
+	o.maxIter = 2
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	before, err := checkpoint.LoadRun(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.resume = true
+	o.maxIter = 4
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.LoadRun(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Opt.Iter < before.Opt.Iter || st.Est.Calls <= before.Est.Calls {
+		t.Errorf("resume after interrupt did not continue: iter %d→%d, calls %d→%d",
+			before.Opt.Iter, st.Opt.Iter, before.Est.Calls, st.Est.Calls)
+	}
+}
+
+// TestRunDeadlineStopsEarly bounds the whole fit with a deadline so
+// tight the first objective call cannot finish: the run must stop
+// cleanly via the budget, not hang or crash.
+func TestRunDeadlineStopsEarly(t *testing.T) {
+	o := baseOpts(synthData(t))
+	o.maxIter = 50
+	o.deadline = time.Millisecond
+	if err := run(o); err != nil {
+		t.Fatalf("deadline run must exit cleanly, got %v", err)
 	}
 }
 
@@ -65,8 +188,9 @@ type traceEvent struct {
 func TestRunTrace(t *testing.T) {
 	dir := synthData(t)
 	tracePath := filepath.Join(t.TempDir(), "trace.json")
-	obs := telemetry.CLI{TracePath: tracePath, Metrics: true}
-	if err := run(9, dir, 2, true, 3, 1, obs); err != nil {
+	o := baseOpts(dir)
+	o.obs = telemetry.CLI{TracePath: tracePath, Metrics: true}
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(tracePath)

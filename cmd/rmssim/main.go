@@ -15,6 +15,14 @@
 // Observability (summaries go to stderr; stdout stays clean CSV):
 //
 //	-trace f, -metrics, -pprof addr, -cpuprofile f
+//
+// Robustness:
+//
+//	-checkpoint f      snapshot {row, y} after every output row
+//	-resume            continue from the -checkpoint file (rows already
+//	                   emitted are skipped; concatenate the outputs)
+//	-deadline d        stop integrating after d; SIGINT stops the same
+//	                   way — both leave the checkpoint resumable.
 package main
 
 import (
@@ -23,14 +31,50 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
+	"rms/internal/budget"
+	"rms/internal/checkpoint"
 	"rms/internal/core"
 	"rms/internal/linalg"
 	"rms/internal/ode"
 	"rms/internal/opt"
 	"rms/internal/telemetry"
 )
+
+// simOpts bundles the simulation configuration; checkpoint/resume/
+// deadline and the injectable interrupt channel are the robustness
+// layer.
+type simOpts struct {
+	rcipPath       string
+	tEnd           float64
+	points         int
+	solver         string
+	rtol, atol     float64
+	args           []string
+	obs            telemetry.CLI
+	checkpointPath string
+	resume         bool
+	deadline       time.Duration
+	interrupt      <-chan os.Signal
+}
+
+// simKind tags rmssim checkpoints in the envelope.
+const simKind = "rms-sim"
+
+// simState is the trajectory checkpoint: the last completed output row
+// and the state vector there. The grid parameters travel along so a
+// resume under different -points/-tend/-solver is rejected instead of
+// silently continuing on a different grid.
+type simState struct {
+	Points int       `json:"points"`
+	TEnd   float64   `json:"tend"`
+	Solver string    `json:"solver"`
+	Row    int       `json:"row"`
+	Y      []float64 `json:"y"`
+}
 
 func main() {
 	var (
@@ -44,11 +88,22 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print solver metrics on stderr")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		ckpt     = flag.String("checkpoint", "", "write a resumable snapshot to this file after every output row")
+		resume   = flag.Bool("resume", false, "resume the trajectory from the -checkpoint file")
+		deadline = flag.Duration("deadline", 0, "stop integrating after this long (0 = no deadline)")
 	)
 	flag.Parse()
-	obs := telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof,
-		CPUProfile: *cpuProf, Out: os.Stderr}
-	if err := run(os.Stdout, *rcipPath, *tEnd, *points, *solver, *rtol, *atol, flag.Args(), obs); err != nil {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	o := simOpts{
+		rcipPath: *rcipPath, tEnd: *tEnd, points: *points, solver: *solver,
+		rtol: *rtol, atol: *atol, args: flag.Args(),
+		obs: telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof,
+			CPUProfile: *cpuProf, Out: os.Stderr},
+		checkpointPath: *ckpt, resume: *resume, deadline: *deadline,
+		interrupt: sig,
+	}
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "rmssim:", err)
 		os.Exit(1)
 	}
@@ -75,9 +130,12 @@ func observeSolver(reg *telemetry.Registry) ode.StepObserver {
 	}
 }
 
-func run(w io.Writer, rcipPath string, tEnd float64, points int,
-	solverName string, rtol, atol float64, args []string, obs telemetry.CLI) error {
-
+func run(w io.Writer, o simOpts) error {
+	rcipPath, tEnd, points := o.rcipPath, o.tEnd, o.points
+	solverName, rtol, atol, args, obs := o.solver, o.rtol, o.atol, o.args, o.obs
+	if o.resume && o.checkpointPath == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
 	tracer, reg, finish, err := obs.Setup()
 	if err != nil {
 		return err
@@ -92,6 +150,22 @@ func run(w io.Writer, rcipPath string, tEnd float64, points int,
 	}
 	if tEnd <= 0 {
 		return fmt.Errorf("tend must be positive, got %g", tEnd)
+	}
+
+	bud := budget.New()
+	if o.deadline > 0 {
+		bud = bud.WithDeadline(o.deadline)
+	}
+	defer bud.Cancel("run finished")
+	if o.interrupt != nil {
+		go func() {
+			select {
+			case <-o.interrupt:
+				fmt.Fprintln(os.Stderr, "rmssim: interrupt — stopping at the next output row")
+				bud.Cancel("interrupt signal")
+			case <-bud.Done():
+			}
+		}()
 	}
 	src, err := os.ReadFile(args[0])
 	if err != nil {
@@ -129,7 +203,7 @@ func run(w io.Writer, rcipPath string, tEnd float64, points int,
 	ev.Observe(reg)
 	rhs := func(_ float64, y, dy []float64) { ev.Eval(y, k, dy) }
 	n := len(res.System.Y0)
-	opts := ode.Options{RTol: rtol, ATol: atol}
+	opts := ode.Options{RTol: rtol, ATol: atol, Budget: bud}
 	if reg != nil {
 		opts.Observer = observeSolver(reg)
 	}
@@ -149,18 +223,52 @@ func run(w io.Writer, rcipPath string, tEnd float64, points int,
 		return fmt.Errorf("unknown solver %q", solverName)
 	}
 
-	fmt.Fprintf(w, "t,%s\n", strings.Join(res.System.Species, ","))
 	y := append([]float64(nil), res.System.Y0...)
-	writeRow(w, 0, y)
+	startRow := 1
+	if o.resume {
+		var st simState
+		if err := checkpoint.Load(o.checkpointPath, simKind, &st); err != nil {
+			return err
+		}
+		if st.Points != points || st.TEnd != tEnd || st.Solver != solverName {
+			return fmt.Errorf("checkpoint was taken on a different grid (points=%d tend=%g solver=%s)",
+				st.Points, st.TEnd, st.Solver)
+		}
+		if len(st.Y) != n {
+			return fmt.Errorf("checkpoint has %d species, model has %d", len(st.Y), n)
+		}
+		copy(y, st.Y)
+		startRow = st.Row + 1
+		// Header and rows up to st.Row were already emitted by the
+		// interrupted run; the resumed output concatenates after them.
+	} else {
+		fmt.Fprintf(w, "t,%s\n", strings.Join(res.System.Species, ","))
+		writeRow(w, 0, y)
+	}
 	lane.Begin("integrate")
-	for i := 1; i < points; i++ {
+	for i := startRow; i < points; i++ {
 		t0 := tEnd * float64(i-1) / float64(points-1)
 		t1 := tEnd * float64(i) / float64(points-1)
 		if err := integrate(t0, t1, y); err != nil {
 			lane.End()
+			if budget.Exhausted(err) {
+				fmt.Fprintf(os.Stderr, "rmssim: stopped at row %d/%d: %v\n", i-1, points-1, err)
+				if o.checkpointPath != "" {
+					fmt.Fprintf(os.Stderr, "rmssim: checkpoint at %s — continue with -resume\n", o.checkpointPath)
+				}
+				return finish()
+			}
 			return err
 		}
 		writeRow(w, t1, y)
+		if o.checkpointPath != "" {
+			st := simState{Points: points, TEnd: tEnd, Solver: solverName,
+				Row: i, Y: append([]float64(nil), y...)}
+			if err := checkpoint.Save(o.checkpointPath, simKind, st); err != nil {
+				lane.End()
+				return err
+			}
+		}
 	}
 	lane.End()
 	return finish()

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"rms/internal/checkpoint"
 	"rms/internal/telemetry"
 )
 
@@ -36,11 +37,19 @@ func writeInputs(t *testing.T) (model, rates string) {
 	return model, rates
 }
 
+// simBase is the small configuration the tests run.
+func simBase(model, rates string) simOpts {
+	return simOpts{rcipPath: rates, tEnd: 1, points: 11, solver: "adams-gear",
+		rtol: 1e-9, atol: 1e-12, args: []string{model}}
+}
+
 func TestSimulateCSV(t *testing.T) {
 	model, rates := writeInputs(t)
 	for _, solver := range []string{"adams-gear", "runge-kutta"} {
 		var buf bytes.Buffer
-		if err := run(&buf, rates, 1, 11, solver, 1e-9, 1e-12, []string{model}, telemetry.CLI{}); err != nil {
+		o := simBase(model, rates)
+		o.solver = solver
+		if err := run(&buf, o); err != nil {
 			t.Fatalf("%s: %v", solver, err)
 		}
 		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -69,8 +78,9 @@ func TestSimulateObserved(t *testing.T) {
 	model, rates := writeInputs(t)
 	tracePath := filepath.Join(t.TempDir(), "trace.json")
 	var csv, obsOut bytes.Buffer
-	obs := telemetry.CLI{TracePath: tracePath, Metrics: true, Out: &obsOut}
-	if err := run(&csv, rates, 1, 11, "adams-gear", 1e-9, 1e-12, []string{model}, obs); err != nil {
+	o := simBase(model, rates)
+	o.obs = telemetry.CLI{TracePath: tracePath, Metrics: true, Out: &obsOut}
+	if err := run(&csv, o); err != nil {
 		t.Fatal(err)
 	}
 	if lines := strings.Split(strings.TrimSpace(csv.String()), "\n"); len(lines) != 12 {
@@ -94,19 +104,155 @@ func TestSimulateObserved(t *testing.T) {
 func TestSimulateErrors(t *testing.T) {
 	model, rates := writeInputs(t)
 	var buf bytes.Buffer
-	if err := run(&buf, "", 1, 10, "adams-gear", 1e-8, 1e-11, []string{model}, telemetry.CLI{}); err == nil {
+	try := func(mut func(*simOpts)) error {
+		o := simBase(model, rates)
+		o.points = 10
+		o.rtol, o.atol = 1e-8, 1e-11
+		mut(&o)
+		return run(&buf, o)
+	}
+	if err := try(func(o *simOpts) { o.rcipPath = "" }); err == nil {
 		t.Error("missing rcip accepted")
 	}
-	if err := run(&buf, rates, 1, 1, "adams-gear", 1e-8, 1e-11, []string{model}, telemetry.CLI{}); err == nil {
+	if err := try(func(o *simOpts) { o.points = 1 }); err == nil {
 		t.Error("points < 2 accepted")
 	}
-	if err := run(&buf, rates, -1, 10, "adams-gear", 1e-8, 1e-11, []string{model}, telemetry.CLI{}); err == nil {
+	if err := try(func(o *simOpts) { o.tEnd = -1 }); err == nil {
 		t.Error("negative tend accepted")
 	}
-	if err := run(&buf, rates, 1, 10, "euler", 1e-8, 1e-11, []string{model}, telemetry.CLI{}); err == nil {
+	if err := try(func(o *simOpts) { o.solver = "euler" }); err == nil {
 		t.Error("unknown solver accepted")
 	}
-	if err := run(&buf, rates, 1, 10, "adams-gear", 1e-8, 1e-11, nil, telemetry.CLI{}); err == nil {
+	if err := try(func(o *simOpts) { o.args = nil }); err == nil {
 		t.Error("no model accepted")
+	}
+	if err := try(func(o *simOpts) { o.resume = true }); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+}
+
+// TestSimulateCheckpointResume splits a trajectory across two runs: rows
+// from an interrupted run plus rows from a -resume run must equal the
+// uninterrupted run's CSV exactly.
+func TestSimulateCheckpointResume(t *testing.T) {
+	model, rates := writeInputs(t)
+	ckpt := filepath.Join(t.TempDir(), "sim.ckpt")
+
+	var whole bytes.Buffer
+	if err := run(&whole, simBase(model, rates)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First half: interrupt (synthetic SIGINT already queued) after the
+	// budget check between rows — to make the split deterministic, run
+	// uninterrupted but with checkpointing, then truncate: resume from an
+	// earlier checkpoint written mid-run is covered by rewriting the
+	// checkpoint to an interior row below.
+	var first bytes.Buffer
+	o := simBase(model, rates)
+	o.checkpointPath = ckpt
+	if err := run(&first, o); err != nil {
+		t.Fatal(err)
+	}
+	var st simState
+	if err := checkpoint.Load(ckpt, simKind, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Row != 10 {
+		t.Fatalf("final checkpoint row = %d, want 10", st.Row)
+	}
+
+	// Rewind the checkpoint to row 5 (values from the uninterrupted CSV
+	// prefix are already in st's history — recompute by re-running the
+	// first 5 rows' integration through resume machinery): emulate an
+	// interrupted run by re-running with points so the loop stops at 5.
+	lines := strings.Split(strings.TrimSpace(first.String()), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("first run rows = %d, want 12", len(lines))
+	}
+	mid := strings.Split(lines[6], ",") // header + rows 0..5 → row 5
+	yMid := make([]float64, len(mid)-1)
+	for i, s := range mid[1:] {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yMid[i] = v
+	}
+	if err := checkpoint.Save(ckpt, simKind, simState{
+		Points: 11, TEnd: 1, Solver: "adams-gear", Row: 5, Y: yMid,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var rest bytes.Buffer
+	o2 := simBase(model, rates)
+	o2.checkpointPath = ckpt
+	o2.resume = true
+	if err := run(&rest, o2); err != nil {
+		t.Fatal(err)
+	}
+	restLines := strings.Split(strings.TrimSpace(rest.String()), "\n")
+	if len(restLines) != 5 {
+		t.Fatalf("resumed rows = %d, want 5 (rows 6..10)", len(restLines))
+	}
+	// The resumed rows must continue the trajectory: same t grid, and the
+	// final concentration must agree with the uninterrupted run to
+	// integrator tolerance (the CSV prints 8 significant digits).
+	wholeLines := strings.Split(strings.TrimSpace(whole.String()), "\n")
+	for i, rl := range restLines {
+		wt := strings.Split(wholeLines[7+i], ",")[0]
+		rt := strings.Split(rl, ",")[0]
+		if wt != rt {
+			t.Errorf("resumed row %d t = %s, want %s", 6+i, rt, wt)
+		}
+	}
+	wantLast := strings.Split(wholeLines[len(wholeLines)-1], ",")[1]
+	gotLast := strings.Split(restLines[len(restLines)-1], ",")[1]
+	wa, _ := strconv.ParseFloat(wantLast, 64)
+	ga, _ := strconv.ParseFloat(gotLast, 64)
+	if math.Abs(wa-ga) > 1e-7 {
+		t.Errorf("resumed final [A] = %v, want %v", ga, wa)
+	}
+
+	// Grid-mismatch rejection.
+	o3 := simBase(model, rates)
+	o3.points = 21
+	o3.checkpointPath = ckpt
+	o3.resume = true
+	if err := run(&bytes.Buffer{}, o3); err == nil {
+		t.Error("resume onto a different grid accepted")
+	}
+}
+
+// TestSimulateInterruptStopsCleanly delivers a queued synthetic SIGINT:
+// the run must stop between rows without an error exit and leave a
+// loadable checkpoint whose row count matches the emitted CSV.
+func TestSimulateInterruptStopsCleanly(t *testing.T) {
+	model, rates := writeInputs(t)
+	ckpt := filepath.Join(t.TempDir(), "sim.ckpt")
+	sig := make(chan os.Signal, 1)
+	sig <- os.Interrupt
+	var buf bytes.Buffer
+	o := simBase(model, rates)
+	o.checkpointPath = ckpt
+	o.interrupt = sig
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("interrupted run must exit cleanly, got %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header plus at least the t=0 row; the interrupt lands before the
+	// integrator finishes the remaining rows.
+	if len(lines) < 2 || len(lines) >= 12 {
+		t.Errorf("interrupted run emitted %d lines, want 2..11", len(lines))
+	}
+	if len(lines) > 2 {
+		var st simState
+		if err := checkpoint.Load(ckpt, simKind, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Row != len(lines)-2 {
+			t.Errorf("checkpoint row = %d, CSV has %d data rows past t=0", st.Row, len(lines)-2)
+		}
 	}
 }

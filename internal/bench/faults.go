@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"rms/internal/budget"
 	"rms/internal/core"
 	"rms/internal/estimator"
 	"rms/internal/faults"
@@ -29,8 +30,18 @@ type FaultsRow struct {
 	OverheadPct float64
 	// WallSeconds is this host's wall-clock time, for reference.
 	WallSeconds float64
+	// BudgetChecks counts the cancellation polls the run performed;
+	// BudgetOvhPct bounds their cost as a percentage of modeled solver
+	// ops. Each check is a single atomic load — far cheaper than one op
+	// unit — so the true overhead sits well below this bound.
+	BudgetChecks int64
+	BudgetOvhPct float64
 	// Recovery counts the fault-tolerance interventions performed.
 	Recovery estimator.RecoveryStats
+	// Degrade counts the graceful-degradation ladder activations
+	// (sparse→dense, batch→serial, ewma→lpt, pool→serial, watchdog
+	// timeouts).
+	Degrade estimator.DegradeStats
 }
 
 // FaultsConfig shapes the fault-tolerance overhead run.
@@ -96,10 +107,15 @@ func FaultTolerance(cfg FaultsConfig) ([]FaultsRow, error) {
 	model := res.Model(vulcan.CrosslinkProperty(res.System), ode.Options{RTol: 1e-7, ATol: 1e-10})
 	files := syntheticFiles(cfg.Files, cfg.Records)
 
-	measure := func(scenario string, plan *faults.Plan, watchdog time.Duration) (FaultsRow, error) {
+	measure := func(scenario string, plan *faults.Plan, watchdog, attempt time.Duration) (FaultsRow, error) {
+		// Every scenario runs with a (never-tripping) budget attached, so
+		// the table shows what the cancellation machinery costs when armed.
+		bud := budget.New()
+		defer bud.Cancel("bench scenario done")
 		ecfg := estimator.Config{
 			Ranks: cfg.Ranks, LoadBalance: true,
 			FaultTolerant: true, Watchdog: watchdog,
+			Budget: bud, Retry: estimator.RetryPolicy{AttemptTimeout: attempt},
 			Metrics: cfg.Metrics,
 		}
 		if plan != nil {
@@ -117,34 +133,45 @@ func FaultTolerance(cfg FaultsConfig) ([]FaultsRow, error) {
 				return FaultsRow{}, fmt.Errorf("%s: %w", scenario, err)
 			}
 		}
-		return FaultsRow{
-			Scenario:    scenario,
-			ModeledOps:  est.ModeledOps(),
-			WallSeconds: est.WallSeconds(),
-			Recovery:    est.Recovery(),
-		}, nil
+		row := FaultsRow{
+			Scenario:     scenario,
+			ModeledOps:   est.ModeledOps(),
+			WallSeconds:  est.WallSeconds(),
+			BudgetChecks: bud.Checks(),
+			Recovery:     est.Recovery(),
+			Degrade:      est.Degrade(),
+		}
+		if row.ModeledOps > 0 {
+			row.BudgetOvhPct = 100 * float64(row.BudgetChecks) / row.ModeledOps
+		}
+		return row, nil
 	}
 
 	scenarios := []struct {
 		name     string
 		plan     *faults.Plan
 		watchdog time.Duration
+		attempt  time.Duration
 	}{
-		{"clean", nil, 0},
+		{"clean", nil, 0, 0},
 		{fmt.Sprintf("flaky solves (rate %g)", cfg.Rate),
-			faults.NewPlan(cfg.Seed).FailRate(cfg.Rate), 0},
+			faults.NewPlan(cfg.Seed).FailRate(cfg.Rate), 0, 0},
 		// One rank dies at its third collective — during objective call 1,
 		// with call 0's balanced assignment already in place.
-		{"rank crash", faults.NewPlan(cfg.Seed).CrashRank(cfg.Ranks-1, 2), 0},
+		{"rank crash", faults.NewPlan(cfg.Seed).CrashRank(cfg.Ranks-1, 2), 0, 0},
 		// One rank wedges instead of dying; a short watchdog (generous
 		// against this benchmark's sub-second calls) converts the hang
 		// into a diagnosed failure and the survivors re-run.
 		{"rank stall + watchdog", faults.NewPlan(cfg.Seed).StallRank(cfg.Ranks-1, 2),
-			500 * time.Millisecond},
+			500 * time.Millisecond, 0},
+		// One solve hangs mid-call; the per-attempt budget watchdog trips,
+		// the degradation ladder counts a timeout, and the retry succeeds.
+		{"solve hang + attempt budget", faults.NewPlan(cfg.Seed).HangFile(0, 1).HangFile(1, 2),
+			0, 250 * time.Millisecond},
 	}
 	var rows []FaultsRow
 	for _, sc := range scenarios {
-		row, err := measure(sc.name, sc.plan, sc.watchdog)
+		row, err := measure(sc.name, sc.plan, sc.watchdog, sc.attempt)
 		if err != nil {
 			return nil, err
 		}
@@ -157,11 +184,31 @@ func FaultTolerance(cfg FaultsConfig) ([]FaultsRow, error) {
 	return rows, nil
 }
 
+// formatDegrade renders the degradation ladder activations compactly,
+// omitting ladders that never fired.
+func formatDegrade(d estimator.DegradeStats) string {
+	var parts []string
+	add := func(label string, n int) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", label, n))
+		}
+	}
+	add("tmo", d.SolveTimeouts)
+	add("sparse", d.SparseToDense)
+	add("batch", d.BatchSerial)
+	add("lpt", d.SchedStatic)
+	add("pool", d.PoolSerial)
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}
+
 // FormatFaults renders the fault-tolerance overhead table.
 func FormatFaults(rows []FaultsRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-26s %-14s %-10s %-9s %-28s"+NL,
-		"scenario", "modeled ops", "overhead", "wall", "recovery")
+	fmt.Fprintf(&b, "%-28s %-13s %-10s %-9s %-10s %-30s %-16s"+NL,
+		"scenario", "modeled ops", "overhead", "wall", "bdgt ovh", "recovery", "degrade")
 	for _, r := range rows {
 		rec := r.Recovery
 		recCol := fmt.Sprintf("retry %d, penal %d, rank %d, wdog %d",
@@ -170,11 +217,16 @@ func FormatFaults(rows []FaultsRow) string {
 		if r.Scenario != "clean" {
 			ovCol = fmt.Sprintf("%+.1f%%", r.OverheadPct)
 		}
-		fmt.Fprintf(&b, "%-26s %-14.3g %-10s %-9s %-28s"+NL,
+		fmt.Fprintf(&b, "%-28s %-13.3g %-10s %-9s %-10s %-30s %-16s"+NL,
 			r.Scenario, r.ModeledOps, ovCol,
-			fmt.Sprintf("%.2fs", r.WallSeconds), recCol)
+			fmt.Sprintf("%.2fs", r.WallSeconds),
+			fmt.Sprintf("<%.3f%%", r.BudgetOvhPct),
+			recCol, formatDegrade(r.Degrade))
 	}
 	b.WriteString("overhead = modeled solver ops vs the clean run; retries and re-runs on" + NL)
-	b.WriteString("shrunk communicators are counted work (see docs/fault-tolerance.md)" + NL)
+	b.WriteString("shrunk communicators are counted work (see docs/fault-tolerance.md)." + NL)
+	b.WriteString("bdgt ovh bounds the cancellation polls' cost (checks per modeled op," + NL)
+	b.WriteString("each a single atomic load); degrade counts ladder activations" + NL)
+	b.WriteString("(docs/checkpointing.md)" + NL)
 	return b.String()
 }

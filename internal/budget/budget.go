@@ -1,0 +1,256 @@
+// Package budget provides the robustness layer's run-budget primitive:
+// a deadline, a cooperative cancel token and a deterministic cost meter
+// in one handle, threaded through every long-running path of the fit
+// pipeline (estimator objective calls, the BDF/RKV65 step loops, the LM
+// outer iteration, the worker pool, the scheduler's steal loops and the
+// mpi collectives).
+//
+// Design rules, in the spirit of the nil-safe telemetry registry:
+//
+//   - a nil *Budget is the disabled state: Check returns nil, Charge is
+//     free, Done returns a nil channel (blocks forever in a select) —
+//     instrumented code pays nothing when budgets are off;
+//   - Check is one atomic load on the hot path, so per-step checks in
+//     the solvers stay far under the 1% overhead bar;
+//   - exhaustion is sticky and carries a reason: once tripped, every
+//     subsequent Check returns the same error, and cooperative callers
+//     unwind returning well-formed partial results;
+//   - the cost meter counts deterministic op units (the estimator's
+//     modeled solver work), so op-cap budgets trip at the same point in
+//     every run regardless of host speed — wall-clock deadlines are the
+//     only non-deterministic trigger, and tests use Cancel instead.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrExhausted is the base class of every budget trip; errors.Is against
+// it identifies "the budget ended this work" across all trip causes.
+var ErrExhausted = errors.New("budget: exhausted")
+
+// The three trip causes, each wrapping ErrExhausted.
+var (
+	// ErrCancelled reports an explicit Cancel call (SIGINT handler, a
+	// caller abandoning the job, an injected cancellation).
+	ErrCancelled = fmt.Errorf("%w: cancelled", ErrExhausted)
+	// ErrDeadline reports the wall-clock deadline passing.
+	ErrDeadline = fmt.Errorf("%w: deadline exceeded", ErrExhausted)
+	// ErrOpCap reports the deterministic op meter crossing its cap.
+	ErrOpCap = fmt.Errorf("%w: op budget spent", ErrExhausted)
+)
+
+// state values for Budget.state.
+const (
+	stActive int32 = iota
+	stCancelled
+	stDeadline
+	stOpCap
+)
+
+// Budget is a deadline + cancel token + cost meter. The zero value is
+// not usable; construct with New. All methods are safe for concurrent
+// use by every rank, lane and worker of a run, and all methods are
+// no-ops on a nil receiver.
+type Budget struct {
+	state  atomic.Int32
+	ops    atomic.Uint64 // accumulated op units, float64 bits
+	checks atomic.Int64  // Check call count (overhead accounting)
+	maxOps float64       // 0 = unlimited
+	reason atomic.Value  // string, set on trip
+
+	mu    sync.Mutex
+	done  chan struct{}
+	timer *time.Timer
+	// parent, when non-nil, is consulted by Check before local state: a
+	// per-attempt child budget (the solve watchdog) trips on its own
+	// deadline without ending the run, while a tripped run budget ends
+	// every child immediately.
+	parent *Budget
+}
+
+// New returns an active budget with no deadline and no op cap.
+func New() *Budget {
+	return &Budget{done: make(chan struct{})}
+}
+
+// WithDeadline arms a wall-clock deadline d from now and returns the
+// budget. A non-positive d is ignored.
+func (b *Budget) WithDeadline(d time.Duration) *Budget {
+	if b == nil || d <= 0 {
+		return b
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	b.timer = time.AfterFunc(d, func() { b.trip(stDeadline, "deadline") })
+	return b
+}
+
+// WithOpCap sets the deterministic work cap in op units (the estimator's
+// modeled solver work measure) and returns the budget. A non-positive
+// cap means unlimited.
+func (b *Budget) WithOpCap(ops float64) *Budget {
+	if b == nil {
+		return nil
+	}
+	if ops > 0 {
+		b.maxOps = ops
+	}
+	return b
+}
+
+// WithParent chains this budget under p: Check and Err consult p first,
+// so cancelling the run budget ends every per-attempt child. Returns b.
+func (b *Budget) WithParent(p *Budget) *Budget {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	b.parent = p
+	b.mu.Unlock()
+	return b
+}
+
+// Parent returns the chained parent budget (nil without one).
+func (b *Budget) Parent() *Budget {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.parent
+}
+
+// Cancel trips the budget with ErrCancelled and the given reason.
+// Idempotent; the first trip wins.
+func (b *Budget) Cancel(reason string) {
+	if b == nil {
+		return
+	}
+	b.trip(stCancelled, reason)
+}
+
+// trip moves the budget to a terminal state exactly once.
+func (b *Budget) trip(st int32, reason string) {
+	if !b.state.CompareAndSwap(stActive, st) {
+		return
+	}
+	b.reason.Store(reason)
+	b.mu.Lock()
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	close(b.done)
+	b.mu.Unlock()
+}
+
+// Check reports whether the budget (or a chained parent) has been
+// exhausted: nil while active, a sticky error wrapping ErrExhausted
+// afterwards. One atomic load on the active path — cheap enough for
+// per-step solver loops.
+func (b *Budget) Check() error {
+	if b == nil {
+		return nil
+	}
+	b.checks.Add(1)
+	if p := b.Parent(); p != nil {
+		if err := p.Check(); err != nil {
+			return err
+		}
+	}
+	if b.state.Load() == stActive {
+		return nil
+	}
+	return b.Err()
+}
+
+// Err returns the trip error (nil while active). The parent's error
+// wins when both tripped — the run-level cause is the diagnostic one.
+func (b *Budget) Err() error {
+	if b == nil {
+		return nil
+	}
+	if p := b.Parent(); p != nil {
+		if err := p.Err(); err != nil {
+			return err
+		}
+	}
+	st := b.state.Load()
+	if st == stActive {
+		return nil
+	}
+	reason, _ := b.reason.Load().(string)
+	switch st {
+	case stCancelled:
+		if reason != "" {
+			return fmt.Errorf("%w (%s)", ErrCancelled, reason)
+		}
+		return ErrCancelled
+	case stDeadline:
+		return ErrDeadline
+	default:
+		return fmt.Errorf("%w (%.3g of %.3g ops)", ErrOpCap, b.Ops(), b.maxOps)
+	}
+}
+
+// Charge adds deterministic work to the op meter and trips the budget
+// when a cap is set and crossed. Charging a tripped or nil budget is a
+// recorded no-op (the meter keeps counting; the state stays terminal).
+func (b *Budget) Charge(ops float64) {
+	if b == nil || !(ops > 0) || math.IsInf(ops, 0) {
+		return
+	}
+	for {
+		old := b.ops.Load()
+		next := math.Float64frombits(old) + ops
+		if b.ops.CompareAndSwap(old, math.Float64bits(next)) {
+			if b.maxOps > 0 && next > b.maxOps {
+				b.trip(stOpCap, "op cap")
+			}
+			return
+		}
+	}
+}
+
+// Ops returns the accumulated op meter.
+func (b *Budget) Ops() float64 {
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(b.ops.Load())
+}
+
+// Checks returns how many Check calls the budget has served — the
+// denominator of the "budget checks add <1% overhead" accounting.
+func (b *Budget) Checks() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.checks.Load()
+}
+
+// Done returns a channel closed when the budget trips. A nil budget
+// returns a nil channel, which blocks forever in a select — the idiom
+// `case <-b.Done():` is safe without a nil check.
+func (b *Budget) Done() <-chan struct{} {
+	if b == nil {
+		return nil
+	}
+	return b.done
+}
+
+// Exhausted reports whether err was caused by a budget trip (of any
+// budget, any cause). The recovery ladders use it to tell "the budget
+// ended this work — stop" from "this work failed — retry or degrade".
+func Exhausted(err error) bool {
+	return errors.Is(err, ErrExhausted)
+}

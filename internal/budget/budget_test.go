@@ -1,0 +1,134 @@
+package budget
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsFree(t *testing.T) {
+	var b *Budget
+	if err := b.Check(); err != nil {
+		t.Fatalf("nil Check: %v", err)
+	}
+	b.Charge(100)
+	b.Cancel("x")
+	if b.Ops() != 0 || b.Checks() != 0 {
+		t.Fatal("nil budget accumulated state")
+	}
+	select {
+	case <-b.Done():
+		t.Fatal("nil Done channel fired")
+	default:
+	}
+	if b.WithDeadline(time.Second) != nil || b.WithOpCap(1) != nil {
+		t.Fatal("nil builders returned non-nil")
+	}
+}
+
+func TestCancelIsStickyAndCarriesReason(t *testing.T) {
+	b := New()
+	if err := b.Check(); err != nil {
+		t.Fatalf("fresh budget tripped: %v", err)
+	}
+	b.Cancel("SIGINT")
+	b.Cancel("second call ignored")
+	err := b.Check()
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrCancelled wrapping ErrExhausted, got %v", err)
+	}
+	if got := err.Error(); got != "budget: exhausted: cancelled (SIGINT)" {
+		t.Fatalf("reason lost: %q", got)
+	}
+	select {
+	case <-b.Done():
+	default:
+		t.Fatal("Done not closed after Cancel")
+	}
+}
+
+func TestOpCapTripsDeterministically(t *testing.T) {
+	b := New().WithOpCap(100)
+	b.Charge(60)
+	if err := b.Check(); err != nil {
+		t.Fatalf("under cap tripped: %v", err)
+	}
+	b.Charge(60)
+	if err := b.Check(); !errors.Is(err, ErrOpCap) {
+		t.Fatalf("want ErrOpCap, got %v", err)
+	}
+	if got := b.Ops(); got != 120 {
+		t.Fatalf("ops meter = %g, want 120", got)
+	}
+}
+
+func TestDeadlineTrips(t *testing.T) {
+	b := New().WithDeadline(5 * time.Millisecond)
+	select {
+	case <-b.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if err := b.Check(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+}
+
+func TestParentChaining(t *testing.T) {
+	run := New()
+	attempt := New().WithParent(run)
+	// A tripped child does not end the run.
+	attempt.Cancel("attempt watchdog")
+	if err := run.Check(); err != nil {
+		t.Fatalf("child trip leaked to parent: %v", err)
+	}
+	if err := attempt.Check(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("child not tripped: %v", err)
+	}
+	// A tripped run ends every child, and the run's cause wins.
+	att2 := New().WithParent(run)
+	run.Cancel("run over")
+	if err := att2.Check(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("parent trip not seen by child: %v", err)
+	}
+	if got := att2.Err().Error(); got != "budget: exhausted: cancelled (run over)" {
+		t.Fatalf("parent cause did not win: %q", got)
+	}
+}
+
+func TestConcurrentChargeAndCheck(t *testing.T) {
+	b := New().WithOpCap(1e6)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Charge(1)
+				b.Check()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Ops(); got != 8000 {
+		t.Fatalf("lost charges: %g", got)
+	}
+	if b.Checks() != 8000 {
+		t.Fatalf("lost checks: %d", b.Checks())
+	}
+	if err := b.Check(); err != nil {
+		t.Fatalf("tripped under cap: %v", err)
+	}
+}
+
+func TestExhaustedClassifier(t *testing.T) {
+	if Exhausted(errors.New("other")) {
+		t.Fatal("unrelated error classified as budget trip")
+	}
+	b := New()
+	b.Cancel("")
+	if !Exhausted(b.Err()) {
+		t.Fatal("budget trip not classified")
+	}
+}

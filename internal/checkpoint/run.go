@@ -1,0 +1,34 @@
+package checkpoint
+
+import (
+	"rms/internal/estimator"
+	"rms/internal/faults"
+	"rms/internal/nlopt"
+)
+
+// RunKind tags a full-fit checkpoint (optimizer + estimator + fault
+// plan) in the envelope.
+const RunKind = "rms-run"
+
+// RunState is everything a parameter fit needs to resume bit-identically
+// from an outer-iteration boundary: the optimizer's {x, lambda,
+// iteration}, the estimator's scheduling/accounting/degradation state,
+// and — for chaos runs — the fault plan's pending schedules, so resumed
+// injections fire exactly where the interrupted run's would have.
+type RunState struct {
+	Opt    nlopt.CheckState  `json:"opt"`
+	Est    estimator.State   `json:"est"`
+	Faults *faults.PlanState `json:"faults,omitempty"`
+}
+
+// SaveRun atomically writes a full-fit checkpoint.
+func SaveRun(path string, st RunState) error {
+	return Save(path, RunKind, st)
+}
+
+// LoadRun reads and verifies a full-fit checkpoint.
+func LoadRun(path string) (RunState, error) {
+	var st RunState
+	err := Load(path, RunKind, &st)
+	return st, err
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"rms/internal/ccomp"
+	"rms/internal/checkpoint"
 	"rms/internal/codegen"
 	"rms/internal/dataset"
 	"rms/internal/eqgen"
@@ -48,6 +49,7 @@ var Stages = []Stage{
 	{"ccomp", "Go tape vs generated-C kernel recompiled at -O0 and -O4", true, stageCComp},
 	{"estimator", "single-rank vs multi-rank estimator residuals", true, stageEstimator},
 	{"sched", "serial vs work-stealing rebalanced scheduler residuals (exact)", true, stageSched},
+	{"resume", "checkpoint/resume bit-identity on serial, sched and batched paths", true, stageResume},
 	{"permute", "species-permutation invariance of compiled evaluation", true, stagePermute},
 	{"scalek", "rate-constant/time rescaling equivalence", true, stageScaleK},
 	{"conserve", "conservation-law residuals of dy and of trajectories", true, stageConserve},
@@ -497,6 +499,121 @@ func stageSched(cs *Case, rec *Recorder, _ float64) error {
 	}
 	rec.CheckVec("residual serial-vs-sched call0", serial[0], dyn[0], -1)
 	rec.CheckVec("residual serial-vs-sched call1 (replanned)", serial[1], dyn[1], -1)
+	return nil
+}
+
+// stageResume holds the checkpoint/resume contract to BIT-IDENTICAL
+// residuals on every estimator execution path: a run interrupted at an
+// objective-call boundary, snapshotted through the checkpoint envelope
+// (JSON + content hash, exactly what lands on disk), and restored into a
+// freshly-constructed estimator must produce the same remaining
+// residual vectors as the uninterrupted run — exactly, not to a
+// tolerance. Covered paths: serial single-rank, v2 work-stealing
+// scheduler (cost model, plans and policy all travel in the snapshot),
+// and the batched lockstep BDF path.
+func stageResume(cs *Case, rec *Recorder, _ float64) error {
+	prop := func(y []float64) float64 {
+		s := 0.0
+		for _, v := range y {
+			s += v
+		}
+		return s
+	}
+	model := &estimator.Model{
+		Prog: cs.Tape, Y0: cs.Sys.Y0, Property: prop, Stiff: true,
+		AnalyticJac: cs.Jac,
+		SolverOpts:  ode.Options{RTol: 1e-7, ATol: 1e-10},
+	}
+	files := skewedFiles(cs)
+	// Four-call k schedule: enough that the sched path replans and the
+	// cost model evolves before and after the interruption point.
+	kseq := make([][]float64, 4)
+	for c := range kseq {
+		k := make([]float64, len(cs.K))
+		for i, v := range cs.K {
+			k[i] = v * (1 + 0.15*float64(c))
+		}
+		kseq[c] = k
+	}
+	variants := []struct {
+		name string
+		cfg  func() estimator.Config
+	}{
+		{"serial", func() estimator.Config { return estimator.Config{Ranks: 1} }},
+		{"sched", func() estimator.Config {
+			return estimator.Config{Ranks: 3, Sched: &sched.Config{
+				Rebalance: true, Alpha: 0.5,
+				SplitShare: 0.25, MaxParts: 3,
+				Lanes: 2, Steal: true,
+			}}
+		}},
+		{"batch", func() estimator.Config { return estimator.Config{Ranks: 2, Batch: true} }},
+	}
+	for _, v := range variants {
+		run := func(e *estimator.Estimator, from, to int) ([][]float64, error) {
+			var out [][]float64
+			for c := from; c < to; c++ {
+				r := make([]float64, e.ResidualDim())
+				if err := e.Objective(kseq[c], r); err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}
+		ref, err := func() ([][]float64, error) {
+			e, err := estimator.New(model, files, v.cfg())
+			if err != nil {
+				return nil, err
+			}
+			defer e.Close()
+			return run(e, 0, len(kseq))
+		}()
+		if err != nil {
+			return fmt.Errorf("resume %s reference: %w", v.name, err)
+		}
+		// Interrupted run: two calls, snapshot through the checkpoint
+		// envelope, resume in a fresh estimator.
+		const cut = 2
+		st, err := func() (estimator.State, error) {
+			e, err := estimator.New(model, files, v.cfg())
+			if err != nil {
+				return estimator.State{}, err
+			}
+			defer e.Close()
+			if _, err := run(e, 0, cut); err != nil {
+				return estimator.State{}, err
+			}
+			return e.Snapshot(), nil
+		}()
+		if err != nil {
+			return fmt.Errorf("resume %s interrupted run: %w", v.name, err)
+		}
+		blob, err := checkpoint.Marshal("estimator", st)
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", v.name, err)
+		}
+		var back estimator.State
+		if err := checkpoint.Unmarshal(blob, "estimator", &back); err != nil {
+			return fmt.Errorf("resume %s: %w", v.name, err)
+		}
+		e2, err := estimator.New(model, files, v.cfg())
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", v.name, err)
+		}
+		if err := e2.Restore(back); err != nil {
+			e2.Close()
+			return fmt.Errorf("resume %s restore: %w", v.name, err)
+		}
+		got, err := run(e2, cut, len(kseq))
+		e2.Close()
+		if err != nil {
+			return fmt.Errorf("resume %s resumed run: %w", v.name, err)
+		}
+		for i, r := range got {
+			rec.CheckVec(fmt.Sprintf("%s resumed call%d", v.name, cut+i), ref[cut+i], r, -1)
+		}
+	}
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"rms/internal/budget"
 	"rms/internal/codegen"
 	"rms/internal/dataset"
 	"rms/internal/linalg"
@@ -76,12 +77,17 @@ type Config struct {
 	// file is a lane of a structure-of-arrays batch, so the compiled tape
 	// runs once per corrector iteration for the whole rank instead of once
 	// per file, and lanes drop out as their record grids are exhausted.
-	// Requires Model.Stiff; the flag is ignored under FaultTolerant or
-	// fault injection (those paths need per-file retry isolation), and
-	// files with non-ascending record times fall back to the serial
-	// per-file path. Batched residuals agree with serial ones to
+	// Requires Model.Stiff; files with non-ascending record times fall
+	// back to the serial per-file path. Batched residuals agree with serial ones to
 	// integration tolerance — the lockstep step control max-reduces error
 	// norms across a rank's files, so the step sequences differ.
+	//
+	// Batch composes with fault injection through the batch→serial
+	// degradation ladder: a failed (or fault-injected) batched solve is
+	// discarded whole — its contributions were staged in a private buffer
+	// — and every lane re-solves on the serial per-file path, counted in
+	// degrade.batch_serial. The flag is still ignored under FaultTolerant
+	// (the retry/penalty machinery needs per-file isolation).
 	Batch bool
 	// Sched, when non-nil with Rebalance set, replaces the per-call LPT
 	// reassignment with the v2 scheduler (package sched, see
@@ -117,6 +123,13 @@ type Config struct {
 	// collective is aborted and — when FaultTolerant — recovered. Zero
 	// disables it.
 	Watchdog time.Duration
+	// Budget, when non-nil, makes every objective call cooperatively
+	// cancellable: it is checked once per solver step, per claimed file
+	// and per scheduler item, and its Done channel releases ranks blocked
+	// in collectives (see mpi.RunConfig.Budget). A tripped budget makes
+	// Objective return its error with the residual untouched — a budget
+	// trip is never retried, penalized or recovered. Nil costs nothing.
+	Budget *budget.Budget
 	// Trace, when non-nil, records the estimator's timeline: one
 	// "objective #N" span per call on an "estimator" lane, per-file solve
 	// spans on each rank's lane (shared with the mpi runtime's collective
@@ -150,6 +163,11 @@ type estMetrics struct {
 	mpiWaitSec                       *telemetry.FloatCounter
 	retries, penalized, rankFailures *telemetry.Counter
 	watchdogTrips, rerunCalls        *telemetry.Counter
+
+	// Degradation-ladder demotions (see DegradeStats).
+	degradeSparse, degradeBatch *telemetry.Counter
+	degradeSched, degradePool   *telemetry.Counter
+	degradeTimeout              *telemetry.Counter
 }
 
 // stepSizeBuckets spans the step magnitudes chemistry integrations visit,
@@ -187,6 +205,11 @@ func newEstMetrics(reg *telemetry.Registry) estMetrics {
 		rankFailures:         reg.Counter("faults.rank_failures"),
 		watchdogTrips:        reg.Counter("faults.watchdog_trips"),
 		rerunCalls:           reg.Counter("faults.rerun_calls"),
+		degradeSparse:        reg.Counter("degrade.sparse_to_dense"),
+		degradeBatch:         reg.Counter("degrade.batch_serial"),
+		degradeSched:         reg.Counter("degrade.sched_static"),
+		degradePool:          reg.Counter("degrade.pool_serial"),
+		degradeTimeout:       reg.Counter("degrade.solve_timeout"),
 	}
 }
 
@@ -201,6 +224,7 @@ func (m *estMetrics) publishStats(st ode.Stats) {
 	m.sparseFactorizations.Add(int64(st.SparseFactorizations))
 	m.factorOps.Add(st.FactorOps)
 	m.solveOps.Add(st.SolveOps)
+	m.degradeSparse.Add(int64(st.SparseDemotions))
 }
 
 // Estimator runs parallel objective evaluations and parameter fits.
@@ -229,10 +253,18 @@ type Estimator struct {
 
 	// retry is cfg.Retry with defaults resolved.
 	retry RetryPolicy
-	// recovery counts fault-tolerance interventions (recMu guards it:
-	// ranks report retries and penalties concurrently).
+	// recovery counts fault-tolerance interventions (recMu guards it and
+	// degrade: ranks report retries, penalties and demotions concurrently).
 	recMu    sync.Mutex
 	recovery RecoveryStats
+	degrade  DegradeStats
+
+	// Degradation-ladder latches (mutated only between calls, on the
+	// caller's goroutine): poolsOff demotes intra-rank tape evaluation to
+	// serial after a pool fault; mispredicts counts consecutive calls of
+	// high cost-model error on the way to the ewma→lpt demotion.
+	poolsOff    bool
+	mispredicts int
 
 	// met holds the registry handles (all nil without cfg.Metrics); lane
 	// is the estimator's own telemetry timeline (nil without cfg.Trace).
@@ -358,7 +390,18 @@ func (e *Estimator) calibrate() {
 func (e *Estimator) publishSolve(st ode.Stats) {
 	e.met.fileSolves.Inc()
 	e.met.solveNs.Observe(e.workOps(st) * e.secPerOp * 1e9)
+	e.publishSolveStats(st)
+}
+
+// publishSolveStats publishes a solve's cumulative counters and folds
+// any sparse→dense demotions it performed into the degradation ledger.
+func (e *Estimator) publishSolveStats(st ode.Stats) {
 	e.met.publishStats(st)
+	if st.SparseDemotions > 0 {
+		e.recMu.Lock()
+		e.degrade.SparseToDense += st.SparseDemotions
+		e.recMu.Unlock()
+	}
 }
 
 // workOps converts solver statistics into a deterministic work count (op
@@ -436,11 +479,15 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 		return fmt.Errorf("estimator: %d rate constants, program expects %d",
 			len(k), e.model.Prog.NumK)
 	}
+	if err := e.cfg.Budget.Check(); err != nil {
+		return err
+	}
 	start := time.Now()
 	if e.lane != nil {
 		e.lane.Begin(fmt.Sprintf("objective #%d", e.calls))
 		defer e.lane.End()
 	}
+	e.checkPoolFault()
 	if e.schedEnabled() {
 		return e.objectiveSched(k, residual, start)
 	}
@@ -459,6 +506,11 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 		if rep.OK() {
 			globalErr, globalTime = ge, gt
 			break
+		}
+		if budget.Exhausted(rep.Err()) {
+			// The budget released the ranks — this is cancellation, not a
+			// failure to recover from.
+			return rep.Err()
 		}
 		if !e.cfg.FaultTolerant {
 			return fmt.Errorf("estimator: parallel objective failed: %w", rep.Err())
@@ -484,6 +536,12 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 		if e.lane != nil {
 			e.lane.Instant(fmt.Sprintf("rank recovery (shrink to %d)", ranks))
 		}
+	}
+	if err := e.cfg.Budget.Check(); err != nil {
+		// The budget tripped after the last collective completed: the
+		// reduction is whole, but the caller asked for cancellation —
+		// honor it rather than racing the trip against the return.
+		return err
 	}
 	copy(residual, globalErr)
 	copy(e.lastTimes, globalTime)
@@ -525,7 +583,8 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 	var errMu sync.Mutex
 	var firstErr error
 	call := e.calls
-	cfg := mpi.RunConfig{Watchdog: e.cfg.Watchdog, Hook: e.cfg.Hook, Trace: e.cfg.Trace}
+	cfg := mpi.RunConfig{Watchdog: e.cfg.Watchdog, Hook: e.cfg.Hook, Trace: e.cfg.Trace,
+		Budget: e.cfg.Budget}
 	rep := mpi.RunErr(ranks, cfg, func(c *mpi.Comm) error {
 		localErr := make([]float64, m)
 		localTime := make([]float64, nf)
@@ -536,15 +595,25 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 		ev := e.model.Prog.NewEvaluator()
 		ev.Observe(e.cfg.Metrics)
 		var pool *parallel.Pool
-		if e.pools != nil {
+		if e.pools != nil && !e.poolsOff {
 			pool = e.pools[c.Rank()]
 			ev.SetParallel(pool)
 		}
 		lane := c.Lane()
+		slow := e.laneSlowdown(call, c.Rank(), 0)
 		rankFiles := assignment[c.Rank()]
+		// attempt0 is the injector attempt index of the serial loop below:
+		// 0 normally, 1 after a batch→serial degrade (the batched solve
+		// consumed attempt 0, so one-attempt schedules don't re-fire on
+		// the fallback while persistent ones still surface).
+		attempt0 := 0
 		if e.useBatch() && len(rankFiles) > 0 {
+			var degraded bool
 			var batchErr error
-			rankFiles, batchErr = e.solveRankBatch(rankFiles, k, pool, localErr, localTime, lane)
+			rankFiles, degraded, batchErr = e.solveRankBatch(rankFiles, k, pool, localErr, localTime, lane, call, c.Rank())
+			if degraded {
+				attempt0 = 1
+			}
 			if batchErr != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -554,48 +623,54 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 			}
 		}
 		for _, fi := range rankFiles {
-			if lane != nil {
+			if e.cfg.Budget.Check() != nil {
+				// Stop claiming files; the collectives below surface the
+				// trip (the budget watcher releases blocked ranks).
+				break
+			}
+			// The span is closed by defer so an abort unwinding through a
+			// collective — or any future early return — cannot leak it.
+			func() {
 				lane.Begin("solve " + e.files[fi].Name)
-			}
-			if e.cfg.FaultTolerant {
-				st, _, retries, penalized := e.solveFileFT(ev, pool, e.files[fi], k, scratch, localErr, call, c.Rank(), fi)
-				localTime[fi] = e.workOps(st)
-				// solveFileFT feeds the per-attempt cost histograms itself
-				// (successes and retries land in separate ones); only the
-				// cumulative solver counters remain to publish here.
-				e.met.fileSolves.Inc()
-				e.met.publishStats(st)
-				e.met.retries.Add(int64(retries))
-				if retries > 0 || penalized {
-					e.recMu.Lock()
-					e.recovery.Retries += retries
-					if penalized {
-						e.recovery.PenalizedFiles++
-						e.met.penalized.Inc()
+				defer lane.End()
+				if e.cfg.FaultTolerant {
+					st, _, retries, penalized := e.solveFileFT(ev, pool, e.files[fi], k, scratch, localErr, call, c.Rank(), fi)
+					localTime[fi] = e.workOps(st) * slow
+					// solveFileFT feeds the per-attempt cost histograms itself
+					// (successes and retries land in separate ones); only the
+					// cumulative solver counters remain to publish here.
+					e.met.fileSolves.Inc()
+					e.publishSolveStats(st)
+					e.met.retries.Add(int64(retries))
+					if retries > 0 || penalized {
+						e.recMu.Lock()
+						e.recovery.Retries += retries
+						if penalized {
+							e.recovery.PenalizedFiles++
+							e.met.penalized.Inc()
+						}
+						e.recMu.Unlock()
 					}
-					e.recMu.Unlock()
+					return
 				}
-				lane.End()
-				continue
-			}
-			var st ode.Stats
-			err := error(nil)
-			if e.cfg.Faults != nil {
-				err = e.cfg.Faults.FileSolve(call, c.Rank(), fi, 0)
-			}
-			if err == nil {
-				st, err = e.solveFile(ev, pool, e.files[fi], k, localErr, e.model.SolverOpts)
-			}
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("estimator: file %s: %w", e.files[fi].Name, err)
+				var st ode.Stats
+				err := error(nil)
+				if e.cfg.Faults != nil {
+					err = e.cfg.Faults.FileSolve(call, c.Rank(), fi, attempt0)
 				}
-				errMu.Unlock()
-			}
-			localTime[fi] = e.workOps(st)
-			e.publishSolve(st)
-			lane.End()
+				if err == nil {
+					st, err = e.solveFile(ev, pool, e.files[fi], k, localErr, e.model.SolverOpts)
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("estimator: file %s: %w", e.files[fi].Name, err)
+					}
+					errMu.Unlock()
+				}
+				localTime[fi] = e.workOps(st) * slow
+				e.publishSolve(st)
+			}()
 		}
 		ge := c.AllReduce(localErr, mpi.SumOp)
 		gt := c.AllReduce(localTime, mpi.SumOp)
@@ -629,6 +704,11 @@ func (e *Estimator) solveFile(ev *codegen.Evaluator, pool *parallel.Pool, f *dat
 // perturbing the fit; the cost asymmetry it implies (a later sub-range
 // costs nearly the whole file) is documented in docs/load-balancing.md.
 func (e *Estimator) solveFileRange(ev *codegen.Evaluator, pool *parallel.Pool, f *dataset.File, k []float64, errvec []float64, opts ode.Options, lo, hi int) (ode.Stats, error) {
+	if opts.Budget == nil {
+		// Per-attempt child budgets arrive via opts; everything else runs
+		// directly under the run budget.
+		opts.Budget = e.cfg.Budget
+	}
 	n := e.model.Prog.NumY
 	y := make([]float64, n)
 	copy(y, e.model.Y0)
@@ -694,10 +774,11 @@ func (e *Estimator) solveFileRange(ev *codegen.Evaluator, pool *parallel.Pool, f
 
 // useBatch reports whether objective calls take the batched solve path.
 // The v2 scheduler owns per-item scheduling, so Batch is ignored under it
-// (the lockstep batch solve is one indivisible unit per rank).
+// (the lockstep batch solve is one indivisible unit per rank). Fault
+// injection composes with Batch via the batch→serial degradation ladder
+// (see solveRankBatch); FaultTolerant still forces the per-file path.
 func (e *Estimator) useBatch() bool {
-	return e.cfg.Batch && e.model.Stiff && !e.cfg.FaultTolerant && e.cfg.Faults == nil &&
-		!e.schedEnabled()
+	return e.cfg.Batch && e.model.Stiff && !e.cfg.FaultTolerant && !e.schedEnabled()
 }
 
 // ascendingRecords reports whether a file's record times are
@@ -717,9 +798,18 @@ func ascendingRecords(f *dataset.File) bool {
 // (codegen.BatchEvaluator), and each lane's residual contributions are
 // emitted at its own record times with per-lane completion masking.
 // Files whose record grids are not ascending are returned for the serial
-// per-file path; per-lane solver failures surface like serial per-file
-// errors.
-func (e *Estimator) solveRankBatch(fileIdx []int, k []float64, pool *parallel.Pool, errvec, timevec []float64, lane *telemetry.Lane) ([]int, error) {
+// per-file path.
+//
+// Contributions are staged in a private buffer and folded into errvec
+// only when every lane succeeded, so a failed batch leaves errvec
+// untouched and the whole rank degrades to the per-file serial path
+// (degrade.batch_serial): the returned slice is then the rank's full
+// original file list. The fold is bit-identical to emitting directly —
+// errvec's entries are all zero before the batch runs (freshly allocated
+// local buffer), so folding adds each staged value to +0. An injected
+// fault on any lane degrades the batch the same way; only a budget trip
+// is returned as an error (cancellation must not be retried serially).
+func (e *Estimator) solveRankBatch(fileIdx []int, k []float64, pool *parallel.Pool, errvec, timevec []float64, lane *telemetry.Lane, call, rank int) (files []int, degraded bool, err error) {
 	var lanes, leftovers []int
 	for _, fi := range fileIdx {
 		if ascendingRecords(e.files[fi]) {
@@ -729,7 +819,18 @@ func (e *Estimator) solveRankBatch(fileIdx []int, k []float64, pool *parallel.Po
 		}
 	}
 	if len(lanes) == 0 {
-		return leftovers, nil
+		return leftovers, false, nil
+	}
+	if e.cfg.Faults != nil {
+		for _, fi := range lanes {
+			if err := e.cfg.Faults.FileSolve(call, rank, fi, 0); err != nil {
+				if budget.Exhausted(err) {
+					return nil, false, err
+				}
+				e.noteBatchDegrade(lane)
+				return fileIdx, true, nil
+			}
+		}
 	}
 	prog := e.model.Prog
 	n, b := prog.NumY, len(lanes)
@@ -762,6 +863,9 @@ func (e *Estimator) solveRankBatch(fileIdx []int, k []float64, pool *parallel.Po
 	}
 	opts := e.model.SolverOpts
 	opts.Observer = nil // per-step events are not emitted on the batch path
+	if opts.Budget == nil {
+		opts.Budget = e.cfg.Budget
+	}
 	bopts := ode.BatchOptions{Options: opts}
 	if e.model.AnalyticJac != nil {
 		jacEv := e.model.AnalyticJac.NewBatchEvaluator(b)
@@ -788,25 +892,55 @@ func (e *Estimator) solveRankBatch(fileIdx []int, k []float64, pool *parallel.Po
 	if errf == nil {
 		errf = func(sim, obs float64) float64 { return sim - obs }
 	}
+	// Stage contributions so a failed batch can be discarded whole.
+	staged := make([]float64, len(errvec))
 	solveErr := solver.Solve(0, y0, grids, func(l, idx int, y []float64) {
 		sim := e.model.Property(y)
-		errvec[idx] += errf(sim, e.files[lanes[l]].Records[idx].Value)
+		staged[idx] += errf(sim, e.files[lanes[l]].Records[idx].Value)
 	})
 
-	var firstErr error
-	for l, fi := range lanes {
-		st := solver.LaneStats(l)
-		timevec[fi] = e.workOps(st)
-		e.publishSolve(st)
+	var failErr error
+	for l := range lanes {
 		err := solver.LaneErr(l)
 		if err == nil && solveErr != nil {
 			err = solveErr // a whole-batch failure charges every lane
 		}
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("estimator: file %s: %w", e.files[fi].Name, err)
+		if err != nil {
+			if budget.Exhausted(err) {
+				return nil, false, err
+			}
+			if failErr == nil {
+				failErr = err
+			}
 		}
 	}
-	return leftovers, firstErr
+	if failErr != nil {
+		// Degrade: charge the wasted batch work to the retry histogram and
+		// hand every file back for the serial per-file path.
+		for l := range lanes {
+			e.met.retryNs.Observe(e.workOps(solver.LaneStats(l)) * e.secPerOp * 1e9)
+		}
+		e.noteBatchDegrade(lane)
+		return fileIdx, true, nil
+	}
+	for j, v := range staged {
+		errvec[j] += v
+	}
+	for l, fi := range lanes {
+		st := solver.LaneStats(l)
+		timevec[fi] = e.workOps(st)
+		e.publishSolve(st)
+	}
+	return leftovers, false, nil
+}
+
+// noteBatchDegrade records one batch→serial demotion.
+func (e *Estimator) noteBatchDegrade(lane *telemetry.Lane) {
+	e.met.degradeBatch.Inc()
+	e.recMu.Lock()
+	e.degrade.BatchSerial++
+	e.recMu.Unlock()
+	lane.Instant("degrade: batch → serial")
 }
 
 // Estimate fits the rate constants within the chemist's bounds by

@@ -10,10 +10,14 @@ package estimator
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"time"
 
+	"rms/internal/budget"
 	"rms/internal/codegen"
 	"rms/internal/dataset"
+	"rms/internal/faults"
 	"rms/internal/ode"
 	"rms/internal/parallel"
 )
@@ -52,6 +56,14 @@ type RetryPolicy struct {
 	// budget that keeps a pathological trial point from hanging a rank;
 	// a tighter Options.MaxSteps in the model wins.
 	MaxSteps int
+	// AttemptTimeout, when positive, arms a wall-clock watchdog per solve
+	// attempt: each attempt runs under a child budget (parented to
+	// Config.Budget) with this deadline, so a wedged solver — or an
+	// injected hang — is cut off and treated as a retryable timeout
+	// instead of stalling its rank until the mpi watchdog fires. Zero
+	// disables the per-attempt watchdog (the default: step caps already
+	// bound ordinary attempts deterministically).
+	AttemptTimeout time.Duration
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -100,6 +112,78 @@ func (e *Estimator) Recovery() RecoveryStats {
 	return e.recovery
 }
 
+// DegradeStats counts the graceful-degradation ladders' demotions,
+// accumulated across objective calls. Each ladder trades capability for
+// forward progress; the counters (mirrored in telemetry as degrade.*)
+// are how a run reports which rungs it had to descend.
+type DegradeStats struct {
+	// SparseToDense counts BDF solves demoted from sparse LU to dense
+	// LU after repeated sparse refactorization failures.
+	SparseToDense int
+	// BatchSerial counts rank batches abandoned to the per-file serial
+	// path after a batched solve failed.
+	BatchSerial int
+	// SchedStatic counts v2 scheduler demotions from the EWMA policy to
+	// plain LPT after sustained cost-model misprediction.
+	SchedStatic int
+	// PoolSerial counts worker-pool demotions to serial tape evaluation
+	// after a pool fault.
+	PoolSerial int
+	// SolveTimeouts counts solve attempts cut off by the per-attempt
+	// watchdog (real deadline trips, injected hangs and injected
+	// timeouts alike).
+	SolveTimeouts int
+}
+
+// Degrade returns the accumulated degradation-ladder statistics.
+func (e *Estimator) Degrade() DegradeStats {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	return e.degrade
+}
+
+// noteTimeout records one per-attempt watchdog trip.
+func (e *Estimator) noteTimeout() {
+	e.met.degradeTimeout.Inc()
+	e.recMu.Lock()
+	e.degrade.SolveTimeouts++
+	e.recMu.Unlock()
+}
+
+// checkPoolFault consults the injector's pool-fault schedule once per
+// objective call (before the ranks fan out) and, on a fault, demotes
+// intra-rank tape evaluation to serial for the rest of the run — the
+// pool→serial rung. Serial tape evaluation is bit-identical to pooled
+// evaluation, so the demotion changes cost, never results.
+func (e *Estimator) checkPoolFault() {
+	pf, ok := e.cfg.Faults.(interface{ PoolFault(call int) bool })
+	if !ok || !pf.PoolFault(e.calls) {
+		return
+	}
+	if e.poolsOff {
+		return // already demoted; the schedule entry is just consumed
+	}
+	e.poolsOff = true
+	e.met.degradePool.Inc()
+	e.recMu.Lock()
+	e.degrade.PoolSerial++
+	e.recMu.Unlock()
+	e.lane.Instant("degrade: pool → serial")
+}
+
+// laneSlowdown returns the injected cost-inflation factor for a solve
+// executed by {rank, lane} during the given call (1 without injection).
+// The factor scales the *measured* cost a slowed lane reports, which is
+// how a chronically slow worker looks to the scheduler's cost model.
+func (e *Estimator) laneSlowdown(call, rank, lane int) float64 {
+	if ls, ok := e.cfg.Faults.(interface {
+		LaneSlowdown(call, rank, lane int) float64
+	}); ok {
+		return ls.LaneSlowdown(call, rank, lane)
+	}
+	return 1
+}
+
 // errNonFinite flags a solve whose residual contribution contains NaN or
 // Inf — numerically as useless as a solver abort, and handled the same.
 var errNonFinite = errors.New("estimator: non-finite residual contribution")
@@ -107,8 +191,14 @@ var errNonFinite = errors.New("estimator: non-finite residual contribution")
 // retryable reports whether a solve failure is worth retrying at
 // tightened tolerances: the solver's breakdown sentinels and non-finite
 // output qualify; anything else (a structural error) goes straight to
-// the penalty.
+// the penalty. A budget trip is neither retried nor penalized — the run
+// is being cancelled, not the trial point rejected — so it is excluded
+// here even though a tripped attempt deadline wraps ErrTooManySteps by
+// the time it reaches this classifier.
 func retryable(err error) bool {
+	if budget.Exhausted(err) {
+		return false
+	}
 	return errors.Is(err, ode.ErrStepTooSmall) ||
 		errors.Is(err, ode.ErrTooManySteps) ||
 		errors.Is(err, errNonFinite)
@@ -184,19 +274,56 @@ func (e *Estimator) solveFileFT(ev *codegen.Evaluator, pool *parallel.Pool, f *d
 		var err error
 		attempted := false
 		var st ode.Stats
+		// Each attempt runs under its own watchdog budget, chained to the
+		// run budget: the attempt deadline cuts off a wedged solver without
+		// ending the run, while a tripped run budget ends every attempt.
+		ab := e.cfg.Budget
+		if pol.AttemptTimeout > 0 {
+			child := budget.New().WithParent(e.cfg.Budget).WithDeadline(pol.AttemptTimeout)
+			defer child.Cancel("attempt done") // stop the deadline timer
+			ab = child
+		}
 		if e.cfg.Faults != nil {
 			err = e.cfg.Faults.FileSolve(call, rank, fi, attempt)
+		}
+		if errors.Is(err, faults.ErrInjectedHang) {
+			// Park exactly as a wedged solver would look: blocked until the
+			// attempt watchdog or the run budget trips. With neither armed
+			// the attempt stays parked and the mpi hang watchdog takes over.
+			select {
+			case <-ab.Done():
+			case <-e.cfg.Budget.Done():
+			}
+			err = ab.Err()
+			if err == nil {
+				err = e.cfg.Budget.Err()
+			}
 		}
 		if err == nil {
 			for i := 0; i < nr; i++ {
 				scratch[i] = 0
 			}
 			attempted = true
-			st, err = e.solveFile(ev, pool, f, k, scratch, e.retryOpts(f, attempt))
+			opts := e.retryOpts(f, attempt)
+			opts.Budget = ab
+			st, err = e.solveFile(ev, pool, f, k, scratch, opts)
 			addStats(&total, st)
 			if err == nil && !finite(scratch[:nr]) {
 				err = errNonFinite
 			}
+		}
+		if err != nil && budget.Exhausted(err) {
+			if e.cfg.Budget.Check() != nil {
+				// Run-level cancellation: fold nothing, penalize nothing —
+				// the caller's loop stops claiming files and the partial
+				// residual is discarded with the aborted call.
+				return total, ode.Stats{}, attempt, false
+			}
+			// Attempt-level watchdog trip: a retryable timeout.
+			e.noteTimeout()
+			err = fmt.Errorf("estimator: solve attempt watchdog: %w", ode.ErrTooManySteps)
+		} else if errors.Is(err, faults.ErrInjectedTimeout) {
+			e.noteTimeout()
 		}
 		if err == nil {
 			for i := 0; i < nr; i++ {

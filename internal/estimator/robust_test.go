@@ -1,0 +1,431 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rms/internal/budget"
+	"rms/internal/faults"
+	"rms/internal/sched"
+	"rms/internal/telemetry"
+)
+
+func TestObjectiveBudgetCancelledBeforeCall(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{20, 20})
+	bud := budget.New()
+	e, err := New(m, files, Config{Ranks: 2, Budget: bud})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bud.Cancel("user abort")
+	r := make([]float64, e.ResidualDim())
+	r[0] = 42 // sentinel: a cancelled call must not touch the residual
+	if err := e.Objective([]float64{1.0}, r); !budget.Exhausted(err) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+	if r[0] != 42 {
+		t.Error("cancelled Objective wrote into the residual")
+	}
+	if e.Calls() != 0 {
+		t.Errorf("cancelled call counted: Calls = %d", e.Calls())
+	}
+}
+
+func TestObjectiveBudgetCancelMidCall(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{30, 30, 30, 30})
+	bud := budget.New()
+	// Trip the budget from inside the call: the property function runs
+	// once per emitted record, so cancel after a handful of them.
+	n := 0
+	inner := m.Property
+	m.Property = func(y []float64) float64 {
+		n++
+		if n == 5 {
+			bud.Cancel("mid-call")
+		}
+		return inner(y)
+	}
+	e, err := New(m, files, Config{Ranks: 2, Budget: bud})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1.0}, r); !budget.Exhausted(err) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+	if e.Calls() != 0 {
+		t.Errorf("aborted call counted: Calls = %d", e.Calls())
+	}
+}
+
+func TestHangRecoveredByAttemptWatchdog(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{20, 20})
+	plan := faults.NewPlan(7).HangFile(0, 0)
+	e, err := New(m, files, Config{
+		Ranks:         2,
+		FaultTolerant: true,
+		Faults:        plan,
+		Retry:         RetryPolicy{AttemptTimeout: 30 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1.0}, r); err != nil {
+		t.Fatalf("hang was not recovered: %v", err)
+	}
+	if got := e.Degrade().SolveTimeouts; got != 1 {
+		t.Errorf("SolveTimeouts = %d, want 1", got)
+	}
+	if got := e.Recovery().Retries; got < 1 {
+		t.Errorf("Retries = %d, want >= 1 (the parked attempt retried)", got)
+	}
+	if got := e.Recovery().PenalizedFiles; got != 0 {
+		t.Errorf("PenalizedFiles = %d — the retry should have succeeded", got)
+	}
+}
+
+func TestInjectedTimeoutIsRetryableAndCounted(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{20, 20})
+	plan := faults.NewPlan(7).TimeoutFile(1, 0)
+	e, err := New(m, files, Config{Ranks: 2, FaultTolerant: true, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1.0}, r); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Degrade().SolveTimeouts; got != 1 {
+		t.Errorf("SolveTimeouts = %d, want 1", got)
+	}
+	if got := e.Recovery().PenalizedFiles; got != 0 {
+		t.Errorf("PenalizedFiles = %d — a single timeout must not penalize", got)
+	}
+}
+
+// TestRunBudgetCancelNotPenalized: a run-level cancellation that lands
+// inside solveFileFT must not burn retries or fold penalties.
+func TestBudgetCancelNotRetriedUnderFT(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{30, 30})
+	bud := budget.New()
+	n := 0
+	inner := m.Property
+	m.Property = func(y []float64) float64 {
+		n++
+		if n == 3 {
+			bud.Cancel("mid-call")
+		}
+		return inner(y)
+	}
+	e, err := New(m, files, Config{Ranks: 1, FaultTolerant: true, Budget: bud})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1.0}, r); !budget.Exhausted(err) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+	rec := e.Recovery()
+	if rec.Retries != 0 || rec.PenalizedFiles != 0 {
+		t.Errorf("cancellation entered the retry/penalty ladder: %+v", rec)
+	}
+}
+
+func TestBatchDegradesToSerialOnInjectedFault(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{25, 25, 25})
+	k := []float64{1.3}
+
+	// Reference: plain serial (no batch, no faults).
+	ref, err := New(m, files, Config{Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, ref.ResidualDim())
+	if err := ref.Objective(k, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch with a one-attempt injected failure on file 1: the batch is
+	// abandoned whole and every file re-solves serially.
+	reg := telemetry.NewRegistry()
+	plan := faults.NewPlan(7).FlakyFile(1, 0, 1)
+	e, err := New(m, files, Config{Ranks: 1, Batch: true, Faults: plan, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, e.ResidualDim())
+	if err := e.Objective(k, got); err != nil {
+		t.Fatalf("degraded batch call failed: %v", err)
+	}
+	if d := e.Degrade().BatchSerial; d != 1 {
+		t.Fatalf("BatchSerial = %d, want 1", d)
+	}
+	if c := reg.Counter("degrade.batch_serial").Value(); c != 1 {
+		t.Errorf("degrade.batch_serial counter = %d, want 1", c)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("residual[%d]: degraded %v != serial %v (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchPersistentFaultStillSurfaces(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{20, 20})
+	plan := faults.NewPlan(7).FailFile(0, 0) // fails every attempt
+	e, err := New(m, files, Config{Ranks: 1, Batch: true, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1.0}, r); err == nil {
+		t.Fatal("persistent fault vanished into the batch degrade")
+	}
+	if d := e.Degrade().BatchSerial; d != 1 {
+		t.Errorf("BatchSerial = %d, want 1", d)
+	}
+}
+
+func TestPoolFaultDemotesToSerial(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{20, 20})
+	k := []float64{0.9}
+
+	ref, err := New(m, files, Config{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, ref.ResidualDim())
+	if err := ref.Objective(k, want); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	plan := faults.NewPlan(7).FailPool(0)
+	e, err := New(m, files, Config{Ranks: 2, Workers: 2, Faults: plan, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	got := make([]float64, e.ResidualDim())
+	for call := 0; call < 2; call++ {
+		if err := e.Objective(k, got); err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("call %d residual[%d]: %v != %v (pool demotion must not change results)",
+					call, i, got[i], want[i])
+			}
+		}
+	}
+	if d := e.Degrade().PoolSerial; d != 1 {
+		t.Errorf("PoolSerial = %d, want 1 (demotion is permanent, counted once)", d)
+	}
+	if c := reg.Counter("degrade.pool_serial").Value(); c != 1 {
+		t.Errorf("degrade.pool_serial counter = %d, want 1", c)
+	}
+}
+
+func TestSchedDemotesEwmaToLPTUnderJitter(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{30, 20, 25, 35})
+	reg := telemetry.NewRegistry()
+	// Heavy jitter: every lane-call is slowed by up to 64x with fresh
+	// keyed draws, so the EWMA's predictions are consistently far off the
+	// measured costs. Seed 7 yields three consecutive mispredicted calls
+	// (1–3), tripping the demotion at call 3.
+	plan := faults.NewPlan(7).SlowLaneJitter(1.0, 64)
+	e, err := New(m, files, Config{
+		Ranks:   2,
+		Sched:   &sched.Config{Rebalance: true, Policy: sched.PolicyEWMA, Lanes: 2, Steal: true},
+		Faults:  plan,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, e.ResidualDim())
+	for call := 0; call < 2+schedMispredictLimit; call++ {
+		if err := e.Objective([]float64{1.1}, r); err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+	}
+	if d := e.Degrade().SchedStatic; d != 1 {
+		t.Fatalf("SchedStatic = %d, want 1", d)
+	}
+	if pol := e.Snapshot().SchedPolicy; pol != "lpt" {
+		t.Errorf("post-demotion policy = %q, want lpt", pol)
+	}
+	if c := reg.Counter("degrade.sched_static").Value(); c != 1 {
+		t.Errorf("degrade.sched_static counter = %d, want 1", c)
+	}
+}
+
+// resumeResiduals runs `calls` objective evaluations and returns each
+// call's residual vector. k varies with the estimator's own call
+// counter, so a resumed estimator continues the same k sequence the
+// uninterrupted run would have seen.
+func resumeResiduals(t *testing.T, e *Estimator, calls int) [][]float64 {
+	t.Helper()
+	out := make([][]float64, calls)
+	for i := 0; i < calls; i++ {
+		r := make([]float64, e.ResidualDim())
+		if err := e.Objective([]float64{1.0 + 0.1*float64(e.Calls())}, r); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = append([]float64(nil), r...)
+	}
+	return out
+}
+
+func TestSnapshotResumeBitIdenticalV1(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{30, 20, 25})
+	mk := func() *Estimator {
+		e, err := New(m, files, Config{Ranks: 2, LoadBalance: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ref := mk()
+	refRes := resumeResiduals(t, ref, 4)
+
+	// Interrupt after 2 calls, snapshot, resume in a fresh estimator.
+	a := mk()
+	resumeResiduals(t, a, 2)
+	snap := a.Snapshot()
+
+	b := mk()
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	gotRes := resumeResiduals(t, b, 2)
+	for c := 0; c < 2; c++ {
+		for i := range refRes[2+c] {
+			if gotRes[c][i] != refRes[2+c][i] {
+				t.Fatalf("resumed call %d residual[%d]: %v != %v", 2+c, i, gotRes[c][i], refRes[2+c][i])
+			}
+		}
+	}
+	if b.Calls() != 4 {
+		t.Errorf("resumed Calls = %d, want 4", b.Calls())
+	}
+}
+
+func TestSnapshotResumeBitIdenticalSched(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{30, 20, 25, 35})
+	cfg := Config{
+		Ranks: 2,
+		Sched: &sched.Config{Rebalance: true, Policy: sched.PolicyEWMA, Lanes: 2, Steal: true,
+			SplitShare: 0.4},
+	}
+	mk := func() *Estimator {
+		e, err := New(m, files, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ref := mk()
+	refRes := resumeResiduals(t, ref, 4)
+
+	a := mk()
+	resumeResiduals(t, a, 2)
+	snap := a.Snapshot()
+
+	b := mk()
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	gotRes := resumeResiduals(t, b, 2)
+	for c := 0; c < 2; c++ {
+		for i := range refRes[2+c] {
+			if gotRes[c][i] != refRes[2+c][i] {
+				t.Fatalf("resumed sched call %d residual[%d]: %v != %v", 2+c, i, gotRes[c][i], refRes[2+c][i])
+			}
+		}
+	}
+	// The cost model must have come through: predictions match the
+	// uninterrupted run's exactly.
+	wantPred, gotPred := ref.CostPredictions(), b.CostPredictions()
+	for i := range wantPred {
+		if wantPred[i] != gotPred[i] {
+			t.Errorf("cost prediction[%d]: %v != %v", i, gotPred[i], wantPred[i])
+		}
+	}
+}
+
+func TestRestoreRejectsIncompatibleSnapshot(t *testing.T) {
+	m := decayModel(t)
+	e2, err := New(m, makeFiles(1.0, []int{20, 20}), Config{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := New(m, makeFiles(1.0, []int{20, 20, 20}), Config{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(e3.Snapshot()); err == nil {
+		t.Error("snapshot with a different file count was accepted")
+	}
+	es, err := New(m, makeFiles(1.0, []int{20, 20}), Config{Ranks: 2,
+		Sched: &sched.Config{Rebalance: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(es.Snapshot()); err == nil {
+		t.Error("sched snapshot restored into a non-sched estimator")
+	}
+}
+
+// The budget-overhead acceptance bar: threading budget checks through
+// the hot paths must cost under 1% of the work. Checked structurally
+// here — the check count is bounded by the solver's natural loop
+// iterations (steps plus Newton iterations), and each check is a single
+// atomic load (~1ns) against an iteration's ≫100ns of factorization and
+// function-evaluation work, so a small constant per iteration keeps the
+// overhead orders of magnitude under 1%.
+func TestBudgetCheckOverheadTiny(t *testing.T) {
+	m := decayModel(t)
+	files := makeFiles(1.0, []int{40, 40})
+	bud := budget.New()
+	reg := telemetry.NewRegistry()
+	e, err := New(m, files, Config{Ranks: 2, Budget: bud, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, e.ResidualDim())
+	if err := e.Objective([]float64{1.0}, r); err != nil {
+		t.Fatal(err)
+	}
+	checks := bud.Checks()
+	if checks == 0 {
+		t.Fatal("no budget checks recorded — the wiring is dead")
+	}
+	iters := reg.Counter("ode.steps").Value() +
+		reg.Counter("ode.rejected_steps").Value() +
+		reg.Counter("ode.newton_iters").Value()
+	if iters == 0 {
+		t.Fatal("no solver iterations recorded")
+	}
+	// Allow two checks per solver iteration plus a small per-call slack
+	// for the estimator-level checks (entry, per-file, post-loop).
+	if limit := 2*iters + 64; checks > limit {
+		t.Errorf("budget checks = %d for %d solver iterations (limit %d)", checks, iters, limit)
+	}
+	if math.IsNaN(e.ModeledOps()) {
+		t.Error("no modeled ops")
+	}
+}

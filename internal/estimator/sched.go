@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"rms/internal/budget"
 	"rms/internal/codegen"
 	"rms/internal/mpi"
 	"rms/internal/ode"
@@ -43,6 +44,13 @@ type SchedStats struct {
 
 // schedEnabled reports whether objective calls take the v2 scheduler path.
 func (e *Estimator) schedEnabled() bool { return e.cost != nil }
+
+// The ewma→lpt demotion fires after schedMispredictLimit consecutive
+// calls whose mean relative cost-model error exceeds schedMispredictRel.
+const (
+	schedMispredictRel   = 0.5
+	schedMispredictLimit = 3
+)
 
 // SchedStats returns the accumulated v2 scheduler decision counts.
 func (e *Estimator) SchedStats() SchedStats { return e.schedStats }
@@ -91,6 +99,10 @@ func (e *Estimator) objectiveSched(k, residual []float64, start time.Time) error
 			contrib, globalTime, successTime, itemOps = co, gt, gs, io
 			break
 		}
+		if budget.Exhausted(rep.Err()) {
+			// The budget released the ranks — cancellation, not a failure.
+			return rep.Err()
+		}
 		if !e.cfg.FaultTolerant {
 			return fmt.Errorf("estimator: parallel objective failed: %w", rep.Err())
 		}
@@ -113,6 +125,12 @@ func (e *Estimator) objectiveSched(k, residual []float64, start time.Time) error
 		ranks -= len(dead)
 		plans, _ = sched.Plan(e.cost.Predictions(), e.nrecs, ranks, e.schedCfg)
 		e.lane.Instant(fmt.Sprintf("rank recovery (shrink to %d)", ranks))
+	}
+	if err := e.cfg.Budget.Check(); err != nil {
+		// Tripped after the last collective completed: ranks may have
+		// stopped claiming items mid-plan, so the reduction cannot be
+		// trusted as complete — honor the cancellation.
+		return err
 	}
 
 	// Order-independent reduction: fold the exactly-summed per-file
@@ -158,10 +176,33 @@ func (e *Estimator) objectiveSched(k, residual []float64, start time.Time) error
 
 	// Feed the cost model from successful-attempt work only (a penalized
 	// file reports zero, which Observe ignores), then re-plan per policy.
+	relSum, relN := 0.0, 0
 	for fi := 0; fi < nf; fi++ {
 		rel, first := e.cost.Observe(fi, successTime[fi])
 		if !first && !math.IsNaN(rel) {
 			e.met.costErr.Observe(rel)
+			relSum += rel
+			relN++
+		}
+	}
+	// The ewma→lpt rung: when the EWMA's predictions stay badly wrong for
+	// several consecutive calls (injected slow-lane jitter, or genuinely
+	// erratic per-call costs), smoothing is hurting the plan — demote to
+	// plain LPT over raw last-measured costs, permanently.
+	if e.schedCfg.Policy == sched.PolicyEWMA && relN > 0 {
+		if relSum/float64(relN) > schedMispredictRel {
+			e.mispredicts++
+		} else {
+			e.mispredicts = 0
+		}
+		if e.mispredicts >= schedMispredictLimit {
+			e.schedCfg.Policy = sched.PolicyLPT
+			e.schedCfg.SplitShare = 0 // LPT is a file-granularity policy
+			e.met.degradeSched.Inc()
+			e.recMu.Lock()
+			e.degrade.SchedStatic++
+			e.recMu.Unlock()
+			e.lane.Instant("degrade: sched ewma → lpt")
 		}
 	}
 	splits := 0
@@ -201,7 +242,8 @@ func (e *Estimator) runCallSched(k []float64, plans [][]sched.Item, ranks, m, nf
 	var errMu sync.Mutex
 	call := e.calls
 	sc := e.schedCfg
-	cfg := mpi.RunConfig{Watchdog: e.cfg.Watchdog, Hook: e.cfg.Hook, Trace: e.cfg.Trace}
+	cfg := mpi.RunConfig{Watchdog: e.cfg.Watchdog, Hook: e.cfg.Hook, Trace: e.cfg.Trace,
+		Budget: e.cfg.Budget}
 	rep = mpi.RunErr(ranks, cfg, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		// One contribution buffer per rank; every (file, record) entry is
@@ -215,7 +257,7 @@ func (e *Estimator) runCallSched(k []float64, plans [][]sched.Item, ranks, m, nf
 		// lane (pool dispatch is serialized — lanes ARE the intra-rank
 		// parallelism once there are several).
 		var pool *parallel.Pool
-		if e.pools != nil && lanes == 1 {
+		if e.pools != nil && lanes == 1 && !e.poolsOff {
 			pool = e.pools[rank]
 		}
 		evs := make([]*codegen.Evaluator, lanes)
@@ -236,11 +278,16 @@ func (e *Estimator) runCallSched(k []float64, plans [][]sched.Item, ranks, m, nf
 		lane := c.Lane()
 		useLane := lane != nil && lanes == 1 // spans can't interleave across lanes
 
-		set := sched.NewStealSet(sched.LaneSplit(plans[rank], lanes), sc.Steal)
+		set := sched.NewStealSet(sched.LaneSplit(plans[rank], lanes), sc.Steal).
+			WithBudget(e.cfg.Budget)
 		set.Run(func(laneIdx int, it sched.Item, victim int) {
 			f := e.files[it.File]
 			block := contrib[it.File*m : (it.File+1)*m]
 			ev := evs[laneIdx]
+			// Injected lane slowdowns inflate the cost this lane *reports*
+			// — exactly how a chronically slow worker looks to the cost
+			// model and the virtual-clock replay.
+			slow := e.laneSlowdown(call, rank, laneIdx)
 			if useLane {
 				lane.Begin("solve " + f.Name)
 				defer lane.End()
@@ -249,10 +296,10 @@ func (e *Estimator) runCallSched(k []float64, plans [][]sched.Item, ranks, m, nf
 				// FT plans are whole-file items (splits forced off), so
 				// the retry/penalty fold covers exactly this block.
 				st, succ, retries, penalized := e.solveFileFT(ev, pool, f, k, scratch[laneIdx], block, call, rank, it.File)
-				localItem[it.Seq] = e.workOps(st)
-				localSucc[it.Seq] = e.workOps(succ)
+				localItem[it.Seq] = e.workOps(st) * slow
+				localSucc[it.Seq] = e.workOps(succ) * slow
 				e.met.fileSolves.Inc()
-				e.met.publishStats(st)
+				e.publishSolveStats(st)
 				e.met.retries.Add(int64(retries))
 				if retries > 0 || penalized {
 					e.recMu.Lock()
@@ -280,7 +327,7 @@ func (e *Estimator) runCallSched(k []float64, plans [][]sched.Item, ranks, m, nf
 				}
 				errMu.Unlock()
 			}
-			w := e.workOps(st)
+			w := e.workOps(st) * slow
 			localItem[it.Seq] = w
 			localSucc[it.Seq] = w
 			e.publishSolve(st)

@@ -33,6 +33,11 @@ var ErrInjected = fmt.Errorf("faults: injected solver failure: %w", ode.ErrStepT
 // Counts reports how many injections a Plan has fired, by kind.
 type Counts struct {
 	Crashes, Stalls, FileFailures int
+	// Hangs, Timeouts, PoolFaults and SlowLanes count the robustness
+	// layer's chaos kinds: solves that block until their attempt budget
+	// trips, solves that report a watchdog timeout, parallel-pool sweeps
+	// forced to degrade to serial, and lane-slowdown injections.
+	Hangs, Timeouts, PoolFaults, SlowLanes int
 }
 
 type key struct{ a, b int }
@@ -57,6 +62,17 @@ type Plan struct {
 	fileFail map[key]int
 	rate     float64
 
+	// Robustness-layer chaos kinds (see robust.go): hang/timeout are
+	// keyed like fileFail; pool is keyed by objective call; slow holds
+	// persistent per-{rank, lane} slowdown factors; slowRate/slowMax
+	// drive jittered slow-lane decisions drawn from per-lane streams.
+	hang     map[key]int
+	timeout  map[key]int
+	pool     map[int]bool
+	slow     map[key]float64
+	slowRate float64
+	slowMax  float64
+
 	counts Counts
 }
 
@@ -71,6 +87,10 @@ func NewPlan(seed int64) *Plan {
 		stall:    make(map[key]bool),
 		seen:     make(map[int]int),
 		fileFail: make(map[key]int),
+		hang:     make(map[key]int),
+		timeout:  make(map[key]int),
+		pool:     make(map[int]bool),
+		slow:     make(map[key]float64),
 	}
 }
 
@@ -161,6 +181,18 @@ func (p *Plan) AtCollective(rank, seq int) mpi.HookAction {
 func (p *Plan) FileSolve(call, rank, file, attempt int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if n, ok := p.hang[key{file, call}]; ok {
+		if n == allAttempts || attempt < n {
+			p.counts.Hangs++
+			return ErrInjectedHang
+		}
+	}
+	if n, ok := p.timeout[key{file, call}]; ok {
+		if n == allAttempts || attempt < n {
+			p.counts.Timeouts++
+			return ErrInjectedTimeout
+		}
+	}
 	if n, ok := p.fileFail[key{file, call}]; ok {
 		if n == allAttempts || attempt < n {
 			p.counts.FileFailures++

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rms/internal/budget"
 	"rms/internal/telemetry"
 )
 
@@ -80,6 +81,13 @@ type RunConfig struct {
 	// receives — so a Chrome trace shows per-rank wait-time gaps and the
 	// text summary attributes communicator imbalance.
 	Trace *telemetry.Tracer
+	// Budget, when non-nil, bounds the whole communicator: when it trips,
+	// the run aborts exactly like a watchdog trip — per-rank states are
+	// snapshotted, ranks blocked in runtime primitives unwind — but every
+	// released rank's report error carries the budget's cause (matching
+	// budget.ErrExhausted), and none of them count as Culprits, so
+	// recovery protocols do not mistake a cancellation for a dead rank.
+	Budget *budget.Budget
 }
 
 // RankState is one rank's state in a RunReport: the live snapshot taken
@@ -144,7 +152,7 @@ func (r *RunReport) OK() bool {
 func (r *RunReport) Culprits() []int {
 	var out []int
 	for rank, e := range r.Errs {
-		if e == nil || errors.Is(e, ErrAborted) || errors.Is(e, ErrWatchdog) {
+		if e == nil || errors.Is(e, ErrAborted) || errors.Is(e, ErrWatchdog) || budget.Exhausted(e) {
 			continue
 		}
 		out = append(out, rank)
@@ -249,6 +257,8 @@ type world struct {
 	activity      atomic.Int64
 	states        []*rankState
 	watchdogFired atomic.Bool
+	budgetFired   atomic.Bool
+	budget        *budget.Budget
 	dumpMu        sync.Mutex
 	dump          []RankState
 }
@@ -332,6 +342,24 @@ func RunErr(size int, cfg RunConfig, fn func(c *Comm) error) *RunReport {
 	if cfg.Watchdog > 0 {
 		go w.watchdog(cfg.Watchdog, stop)
 	}
+	if cfg.Budget != nil {
+		w.budget = cfg.Budget
+		// The budget watcher mirrors the watchdog's abort protocol: dump
+		// first (so diagnostics show where every rank was when the budget
+		// tripped), then release the communicator.
+		go func() {
+			select {
+			case <-stop:
+			case <-w.dead:
+			case <-cfg.Budget.Done():
+				w.dumpMu.Lock()
+				w.dump = w.snapshot()
+				w.dumpMu.Unlock()
+				w.budgetFired.Store(true)
+				w.deadOnce.Do(func() { close(w.dead) })
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	errs := make([]error, size)
@@ -356,9 +384,12 @@ func RunErr(size int, cfg RunConfig, fn func(c *Comm) error) *RunReport {
 				switch v := p.(type) {
 				case nil:
 				case abortError:
-					if w.watchdogFired.Load() {
+					switch {
+					case w.budgetFired.Load():
+						errs[rank] = fmt.Errorf("%w (mpi: rank %d released)", w.budget.Err(), rank)
+					case w.watchdogFired.Load():
 						errs[rank] = fmt.Errorf("%w (rank %d released)", ErrWatchdog, rank)
-					} else {
+					default:
 						errs[rank] = fmt.Errorf("%w (rank %d released)", ErrAborted, rank)
 					}
 				case stallError:
@@ -488,6 +519,17 @@ func (w *world) enterWait(rank int, phase, span string) {
 	w.lanes[rank].Begin(span)
 }
 
+// abortWait unwinds a rank blocked in a runtime primitive when the
+// communicator dies. Closing the wait span (via leaveWait) before the
+// panic matters because lanes are keyed by name and reused across
+// shrink-and-retry reruns: a leaked Begin would nest every later span of
+// the reused "rank N" lane one level too deep, corrupting the exported
+// trace of cancelled runs.
+func (w *world) abortWait(rank int) {
+	w.leaveWait(rank)
+	panic(abortError{})
+}
+
 func (w *world) leaveWait(rank int) {
 	w.lanes[rank].End()
 	st := w.states[rank]
@@ -540,7 +582,7 @@ func (c *Comm) Send(to int, data any) {
 	case w.ch[c.rank][to] <- data:
 		w.leaveWait(c.rank)
 	case <-w.dead:
-		panic(abortError{})
+		w.abortWait(c.rank)
 	}
 }
 
@@ -564,7 +606,8 @@ func (c *Comm) Recv(from int) any {
 		w.leaveWait(c.rank)
 		return v
 	case <-w.dead:
-		panic(abortError{})
+		w.abortWait(c.rank)
+		panic("unreachable") // abortWait always panics
 	}
 }
 
@@ -608,7 +651,7 @@ func (c *Comm) collect(name string, local any, f func(all []any) any) any {
 				all[r] = v
 				w.activity.Add(1)
 			case <-w.dead:
-				panic(abortError{})
+				w.abortWait(c.rank)
 			}
 		}
 		out = f(all)
@@ -617,7 +660,7 @@ func (c *Comm) collect(name string, local any, f func(all []any) any) any {
 			case w.down[r] <- out:
 				w.activity.Add(1)
 			case <-w.dead:
-				panic(abortError{})
+				w.abortWait(c.rank)
 			}
 		}
 	} else {
@@ -625,14 +668,14 @@ func (c *Comm) collect(name string, local any, f func(all []any) any) any {
 		case w.up[c.rank] <- local:
 			w.activity.Add(1)
 		case <-w.dead:
-			panic(abortError{})
+			w.abortWait(c.rank)
 		}
 		select {
 		case v := <-w.down[c.rank]:
 			out = v
 			w.activity.Add(1)
 		case <-w.dead:
-			panic(abortError{})
+			w.abortWait(c.rank)
 		}
 	}
 	w.leaveWait(c.rank)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"rms/internal/budget"
 	"rms/internal/linalg"
 )
 
@@ -52,6 +53,40 @@ type Options struct {
 	// fit monitor displays. The callback runs on the optimizer's
 	// goroutine; keep it cheap.
 	Observer func(IterEvent)
+	// Budget, when non-nil, is checked at every outer-iteration boundary.
+	// A tripped budget — or a Residual error caused by one (see
+	// budget.Exhausted) — ends the fit cooperatively: the optimizer
+	// returns BOTH a well-formed partial Result holding the best point
+	// reached AND the budget's error, so callers can checkpoint the
+	// partial fit before unwinding.
+	Budget *budget.Budget
+	// Checkpoint, when non-nil, is called at every outer-iteration
+	// boundary with the exact state a Resume needs to reproduce the rest
+	// of the fit bit-identically. It runs before the iteration's work (and
+	// before the budget check), so the persisted state never lags a
+	// cancellation. A Checkpoint error aborts the fit.
+	Checkpoint func(CheckState) error
+	// Resume, when non-nil, restarts the fit from a captured CheckState
+	// instead of x0: the residuals are recomputed at the restored point
+	// and iteration numbering continues from CheckState.Iter, so an
+	// interrupted fit resumed from its last checkpoint finishes with
+	// bit-identical parameters to the uninterrupted run.
+	Resume *CheckState
+}
+
+// CheckState is the optimizer state at an outer-iteration boundary — the
+// complete LM-side snapshot for checkpoint/resume. Residuals are excluded
+// deliberately: r(x) is a pure function of x and is recomputed on resume,
+// which keeps snapshots small and makes staleness impossible.
+type CheckState struct {
+	// Iter is the 0-based outer iteration about to run.
+	Iter int `json:"iter"`
+	// X is the current (best) point.
+	X []float64 `json:"x"`
+	// Lambda is the LM damping carried into iteration Iter.
+	Lambda float64 `json:"lambda"`
+	// RNorm is ‖r(X)‖₂, stored for diagnostics and sanity checks.
+	RNorm float64 `json:"rnorm"`
 }
 
 // IterEvent is one outer Levenberg–Marquardt iteration's telemetry
@@ -146,7 +181,16 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 
 	res := &Result{X: make([]float64, n), Active: make([]bool, n)}
 	x := make([]float64, n)
-	copy(x, x0)
+	startIter := 0
+	if opts.Resume != nil {
+		if len(opts.Resume.X) != n {
+			return nil, fmt.Errorf("nlopt: resume state has %d variables, want %d", len(opts.Resume.X), n)
+		}
+		copy(x, opts.Resume.X)
+		startIter = opts.Resume.Iter
+	} else {
+		copy(x, x0)
+	}
 	clamp(x, lower, upper)
 
 	r := make([]float64, m)
@@ -155,15 +199,36 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 	grad := make([]float64, n)
 	jac := linalg.NewMatrix(m, n)
 
+	rNorm := 0.0
+	lambda := opts.InitialLambda
+	if opts.Resume != nil {
+		lambda = opts.Resume.Lambda
+	}
+
+	// partial packages the best point reached so far together with the
+	// interrupting error — the cooperative-cancellation contract: a budget
+	// trip never discards converged-so-far work.
+	partial := func(err error) (*Result, error) {
+		copy(res.X, x)
+		res.RNorm = rNorm
+		for j := range x {
+			res.Active[j] = (x[j] <= lower[j] && lower[j] == upper[j]) ||
+				x[j] == lower[j] || x[j] == upper[j]
+		}
+		return res, err
+	}
+
 	if err := f(x, r); err != nil {
+		if budget.Exhausted(err) {
+			return partial(err)
+		}
 		return nil, fmt.Errorf("nlopt: residual at start: %w", err)
 	}
 	res.FEvals++
 	if !allFinite(r) {
 		return nil, fmt.Errorf("%w at the starting point", ErrNonFinite)
 	}
-	rNorm := linalg.Norm2(r)
-	lambda := opts.InitialLambda
+	rNorm = linalg.Norm2(r)
 
 	emit := func(improved bool, trials, nonFinite, freeVars int) {
 		if opts.Observer != nil {
@@ -175,12 +240,23 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 		}
 	}
 
-	for iter := 0; iter < opts.MaxIter; iter++ {
+	for iter := startIter; iter < opts.MaxIter; iter++ {
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint(CheckState{Iter: iter, X: append([]float64(nil), x...), Lambda: lambda, RNorm: rNorm}); err != nil {
+				return partial(fmt.Errorf("nlopt: checkpoint at iteration %d: %w", iter, err))
+			}
+		}
+		if err := opts.Budget.Check(); err != nil {
+			return partial(err)
+		}
 		res.Iterations = iter + 1
 		if opts.RecordHistory {
 			res.History = append(res.History, rNorm)
 		}
 		if err := jacobian(f, x, r, lower, upper, jac, rTrial, xTrial, opts.RelStep); err != nil {
+			if budget.Exhausted(err) {
+				return partial(err)
+			}
 			return nil, fmt.Errorf("nlopt: jacobian at iteration %d: %w", iter, err)
 		}
 		res.JEvals++
@@ -230,6 +306,9 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 			}
 			clamp(xTrial, lower, upper)
 			if err := f(xTrial, rTrial); err != nil {
+				if budget.Exhausted(err) {
+					return partial(err)
+				}
 				return nil, fmt.Errorf("nlopt: residual at trial point: %w", err)
 			}
 			res.FEvals++
@@ -288,6 +367,11 @@ func BoundedLeastSquares(f Residual, x0, lower, upper []float64, m int, opts Opt
 		res.Residuals = append([]float64(nil), r...)
 		res.Jacobian = linalg.NewMatrix(m, n)
 		if err := jacobian(f, x, r, lower, upper, res.Jacobian, rTrial, xTrial, opts.RelStep); err != nil {
+			if budget.Exhausted(err) {
+				res.Jacobian = nil
+				res.Residuals = nil
+				return partial(err)
+			}
 			return nil, fmt.Errorf("nlopt: jacobian at solution: %w", err)
 		}
 		res.FEvals += n

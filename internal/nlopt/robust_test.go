@@ -1,0 +1,120 @@
+package nlopt
+
+import (
+	"math"
+	"testing"
+
+	"rms/internal/budget"
+)
+
+// rosenResidual is a bounded Rosenbrock-style least-squares problem with
+// enough iterations to interrupt in the middle.
+func rosenResidual(x, r []float64) error {
+	r[0] = 10 * (x[1] - x[0]*x[0])
+	r[1] = 1 - x[0]
+	r[2] = 0.5 * (x[1] - 1)
+	return nil
+}
+
+func rosenSetup() (x0, lo, hi []float64) {
+	return []float64{-1.2, 1}, []float64{-4, -4}, []float64{4, 4}
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	x0, lo, hi := rosenSetup()
+
+	// Uninterrupted reference run, recording every iteration boundary.
+	var states []CheckState
+	ref, err := BoundedLeastSquares(rosenResidual, x0, lo, hi, 3, Options{
+		Checkpoint: func(cs CheckState) error {
+			states = append(states, cs)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) < 4 {
+		t.Fatalf("only %d iteration boundaries; need an interruptible run", len(states))
+	}
+
+	// Resume from every captured boundary: each must land on bit-identical
+	// parameters.
+	for _, cs := range states {
+		res, err := BoundedLeastSquares(rosenResidual, x0, lo, hi, 3, Options{Resume: &cs})
+		if err != nil {
+			t.Fatalf("resume at iter %d: %v", cs.Iter, err)
+		}
+		for j := range ref.X {
+			if res.X[j] != ref.X[j] {
+				t.Fatalf("resume at iter %d: X[%d] = %v, want %v (bit-identical)",
+					cs.Iter, j, res.X[j], ref.X[j])
+			}
+		}
+		if res.RNorm != ref.RNorm {
+			t.Fatalf("resume at iter %d: RNorm %v vs %v", cs.Iter, res.RNorm, ref.RNorm)
+		}
+		if res.Converged != ref.Converged {
+			t.Fatalf("resume at iter %d: Converged %v vs %v", cs.Iter, res.Converged, ref.Converged)
+		}
+	}
+}
+
+func TestBudgetCancelReturnsPartialResult(t *testing.T) {
+	x0, lo, hi := rosenSetup()
+	bud := budget.New()
+	iters := 0
+	res, err := BoundedLeastSquares(rosenResidual, x0, lo, hi, 3, Options{
+		Budget: bud,
+		Checkpoint: func(CheckState) error {
+			iters++
+			if iters == 3 {
+				bud.Cancel("test")
+			}
+			return nil
+		},
+	})
+	if !budget.Exhausted(err) {
+		t.Fatalf("want budget trip, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("cancellation must return a partial result")
+	}
+	if len(res.X) != 2 || math.IsNaN(res.X[0]) || math.IsNaN(res.RNorm) {
+		t.Fatalf("partial result malformed: %+v", res)
+	}
+	if res.Iterations != 2 {
+		t.Fatalf("partial result ran %d iterations, want 2 before the trip", res.Iterations)
+	}
+}
+
+func TestBudgetTripInsideResidualReturnsPartial(t *testing.T) {
+	x0, lo, hi := rosenSetup()
+	bud := budget.New()
+	calls := 0
+	f := func(x, r []float64) error {
+		calls++
+		if calls == 8 {
+			bud.Cancel("mid-jacobian")
+		}
+		if err := bud.Check(); err != nil {
+			return err
+		}
+		return rosenResidual(x, r)
+	}
+	res, err := BoundedLeastSquares(f, x0, lo, hi, 3, Options{Budget: bud})
+	if !budget.Exhausted(err) {
+		t.Fatalf("want budget trip, got %v", err)
+	}
+	if res == nil || len(res.X) != 2 {
+		t.Fatal("partial result missing")
+	}
+}
+
+func TestResumeRejectsWrongDimension(t *testing.T) {
+	x0, lo, hi := rosenSetup()
+	bad := &CheckState{Iter: 1, X: []float64{1, 2, 3}, Lambda: 1e-3}
+	if _, err := BoundedLeastSquares(rosenResidual, x0, lo, hi, 3, Options{Resume: bad}); err == nil {
+		t.Fatal("mismatched resume state accepted")
+	}
+}

@@ -291,6 +291,13 @@ func (s *BatchBDF) Solve(t0 float64, y0 []float64, outT [][]float64, emit func(l
 			s.failActive(ErrTooManySteps)
 			break
 		}
+		if err := o.Budget.Check(); err != nil {
+			// Cooperative cancellation: still-pending lanes fail with the
+			// budget error (budget.Exhausted tells them apart from solver
+			// failures); lanes already emitted keep their results.
+			s.failActive(err)
+			break
+		}
 		accepted, errNorm, err := s.attemptStep(s.tInt, o)
 		if err != nil {
 			s.failActive(err)

@@ -64,14 +64,22 @@ type BDF struct {
 	// Sparse Newton path (see Options.SparsePattern): cached sparse df/dy,
 	// the iteration matrix with the same layout, its diagonal offsets, and
 	// the sparse LU whose symbolic factorization is computed once.
-	sparse     bool
-	sparseInit bool
-	jacCSR     *linalg.CSR
-	mCSR       *linalg.CSR
-	mDiag      []int32
-	slu        *linalg.SparseLU
-	iterMat    *linalg.Matrix // dense iteration-matrix workspace, reused
+	sparse      bool
+	sparseInit  bool
+	sparseFails int // consecutive sparse refactorization failures
+	jacCSR      *linalg.CSR
+	mCSR        *linalg.CSR
+	mDiag       []int32
+	slu         *linalg.SparseLU
+	iterMat     *linalg.Matrix // dense iteration-matrix workspace, reused
 }
+
+// sparseFailLimit is how many consecutive sparse refactorization failures
+// the solver tolerates before demoting itself to the dense LU path for
+// good. Step-size shrinks between attempts give the sparse path real
+// chances to recover; persistent failure means the pivot-free sparse
+// factorization cannot handle this iteration matrix.
+const sparseFailLimit = 3
 
 // NewBDF returns an Adams-Gear solver for an n-dimensional system.
 func NewBDF(f Func, n int, opts Options) *BDF {
@@ -161,6 +169,13 @@ func (s *BDF) Integrate(t0, t1 float64, y []float64) error {
 		if steps > o.MaxSteps {
 			s.initialized = false
 			return errWrap(ErrTooManySteps, s.tInt)
+		}
+		if err := o.Budget.Check(); err != nil {
+			// Cooperative cancellation: leave y at the last accepted state
+			// so the caller holds a well-formed partial trajectory.
+			copy(y, s.hist[0])
+			s.initialized = false
+			return errWrap(err, s.tInt)
 		}
 		tStep, hStep, orderStep := s.tInt, s.h, s.order
 		preNewton, preFactor := s.stats.NewtonIters, s.stats.Factorizations
@@ -274,6 +289,10 @@ func (s *BDF) integrateFixed(t0, t1, dir float64, o Options, y []float64) error 
 	for steps := 0; ; steps++ {
 		if steps > o.MaxSteps {
 			return errWrap(ErrTooManySteps, t)
+		}
+		if err := o.Budget.Check(); err != nil {
+			copy(y, s.hist[0])
+			return errWrap(err, t)
 		}
 		if reached(t, t1, dir) {
 			copy(y, s.hist[0])
@@ -479,8 +498,22 @@ func (s *BDF) factor(hb float64) error {
 			md[d]++
 		}
 		if err := s.slu.Refactor(s.mCSR); err != nil {
+			// Degradation ladder: the sparse LU has no pivoting, so a
+			// persistently troublesome iteration matrix can defeat it where
+			// the partial-pivoting dense LU survives. After a few
+			// consecutive failures retire the sparse path and continue
+			// dense — slower, but the integration completes.
+			s.sparseFails++
+			s.jacFresh = false // rebuild before the next attempt: the
+			// failure may be a transient bad Jacobian, not the pattern
+			if s.sparseFails >= sparseFailLimit {
+				s.sparse = false
+				s.stats.SparseDemotions++
+				s.haveFactor = false
+			}
 			return err
 		}
+		s.sparseFails = 0
 		s.luH = hb
 		s.haveFactor = true
 		s.stats.Factorizations++

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"rms/internal/budget"
 	"rms/internal/linalg"
 )
 
@@ -72,6 +73,11 @@ type Options struct {
 	// do not emit events. The callback runs on the solver's goroutine;
 	// keep it cheap.
 	Observer StepObserver
+	// Budget, when non-nil, is checked once per step attempt; a tripped
+	// budget aborts the integration cooperatively with the budget's error
+	// (wrapping budget.ErrExhausted), leaving y at the last accepted
+	// state. A nil budget costs nothing.
+	Budget *budget.Budget
 }
 
 // StepEvent is one adaptive step attempt's telemetry record.
@@ -138,6 +144,10 @@ type Stats struct {
 	// SparseFactorizations counts the factorizations that ran on the
 	// sparse path (a subset of Factorizations).
 	SparseFactorizations int
+	// SparseDemotions counts sparse→dense degradations: after repeated
+	// sparse refactorization failures the solver retires the sparse path
+	// for the rest of its life and continues on dense LU.
+	SparseDemotions int
 	// JacNNZ and FillNNZ report the sparse path's structural nonzero
 	// count and its L+U size including fill-in (0 on the dense path).
 	JacNNZ, FillNNZ int

@@ -72,6 +72,9 @@ func (s *RKV65) Integrate(t0, t1 float64, y []float64) error {
 		if steps > o.MaxSteps {
 			return errWrap(ErrTooManySteps, t)
 		}
+		if err := o.Budget.Check(); err != nil {
+			return errWrap(err, t)
+		}
 		if reached(t, t1, dir) {
 			return nil
 		}

@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"rms/internal/budget"
+)
+
+func TestRunBudgetCompletesWithNilBudget(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var ran atomic.Int64
+	if err := p.RunBudget(100, nil, func(int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", ran.Load())
+	}
+}
+
+func TestRunBudgetStopsClaimingOnTrip(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	bud := budget.New()
+	var ran atomic.Int64
+	err := p.RunBudget(1000, bud, func(task int) {
+		if ran.Add(1) == 10 {
+			bud.Cancel("test")
+		}
+	})
+	if !budget.Exhausted(err) {
+		t.Fatalf("want budget trip, got %v", err)
+	}
+	// Claims must stop promptly: well under the full sweep. A small
+	// overshoot (tasks claimed before the trip was visible) is fine.
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("sweep ran to completion (%d tasks) despite the trip", n)
+	}
+}
+
+func TestRunBudgetSerialPath(t *testing.T) {
+	bud := budget.New()
+	ran := 0
+	var p *Pool // nil pool: serial sweep
+	err := p.RunBudget(50, bud, func(task int) {
+		ran++
+		if task == 4 {
+			bud.Cancel("test")
+		}
+	})
+	if !budget.Exhausted(err) {
+		t.Fatalf("want budget trip, got %v", err)
+	}
+	if ran != 5 {
+		t.Fatalf("serial sweep ran %d tasks, want exactly 5", ran)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rms/internal/budget"
 	"rms/internal/telemetry"
 )
 
@@ -134,6 +135,43 @@ func (p *Pool) Run(tasks int, fn func(task int)) {
 			fn(t)
 		}
 	})
+}
+
+// RunBudget is Run with cooperative cancellation: workers stop claiming
+// new tasks once b trips (tasks already started run to completion, so fn
+// never sees a half-cancelled invocation). It returns the budget's error
+// when the sweep was cut short, nil when every task ran. A nil budget
+// makes RunBudget exactly Run.
+func (p *Pool) RunBudget(tasks int, b *budget.Budget, fn func(task int)) error {
+	if tasks <= 0 {
+		return nil
+	}
+	if p != nil {
+		p.telTasks.Add(int64(tasks))
+	}
+	if p == nil || p.workers <= 1 || tasks == 1 {
+		for t := 0; t < tasks; t++ {
+			if err := b.Check(); err != nil {
+				return err
+			}
+			fn(t)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	p.Do(func(int) {
+		for b.Check() == nil {
+			t := int(next.Add(1)) - 1
+			if t >= tasks {
+				return
+			}
+			fn(t)
+		}
+	})
+	if int(next.Load()) < tasks {
+		return b.Err()
+	}
+	return nil // every task was claimed and ran, trip or no trip
 }
 
 // Close releases the helper goroutines. The pool must be idle; Do and Run

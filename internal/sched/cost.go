@@ -89,3 +89,30 @@ func (c *CostModel) Predictions() []float64 {
 
 // Observations returns how many measurements item i has folded in.
 func (c *CostModel) Observations(i int) int { return c.hits[i] }
+
+// CostState is the JSON-serializable snapshot of a CostModel — part of
+// the estimator checkpoint, so a resumed fit replans from exactly the
+// predictions the interrupted run had learned.
+type CostState struct {
+	Alpha float64   `json:"alpha"`
+	Pred  []float64 `json:"pred"`
+	Hits  []int     `json:"hits"`
+}
+
+// State captures the model's complete mutable state.
+func (c *CostModel) State() CostState {
+	return CostState{
+		Alpha: c.alpha,
+		Pred:  append([]float64(nil), c.pred...),
+		Hits:  append([]int(nil), c.hits...),
+	}
+}
+
+// CostModelFromState rebuilds a model from a snapshot.
+func CostModelFromState(st CostState) *CostModel {
+	return &CostModel{
+		alpha: st.Alpha,
+		pred:  append([]float64(nil), st.Pred...),
+		hits:  append([]int(nil), st.Hits...),
+	}
+}

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"testing"
+
+	"rms/internal/budget"
+)
+
+func TestStealSetBudgetCancelDrainsCleanly(t *testing.T) {
+	queues := [][]Item{
+		{{File: 0, Cost: 1}, {File: 1, Cost: 1}, {File: 2, Cost: 1}},
+		{{File: 3, Cost: 1}, {File: 4, Cost: 1}, {File: 5, Cost: 1}},
+	}
+	bud := budget.New()
+	s := NewStealSet(queues, true).WithBudget(bud)
+	it, _, ok := s.Next(0)
+	if !ok || it.File != 0 {
+		t.Fatalf("first pop: %+v ok=%v", it, ok)
+	}
+	bud.Cancel("test")
+	if _, _, ok := s.Next(0); ok {
+		t.Fatal("Next handed out work after the budget tripped")
+	}
+	if _, _, ok := s.Next(1); ok {
+		t.Fatal("lane 1 still got work after the trip")
+	}
+	if rem := s.Remaining(); rem != 5 {
+		t.Fatalf("Remaining = %d, want 5", rem)
+	}
+	// Run on a cancelled set returns immediately without executing.
+	executed := 0
+	s.Run(func(int, Item, int) { executed++ })
+	if executed != 0 {
+		t.Fatalf("cancelled Run executed %d items", executed)
+	}
+}
+
+func TestCostModelStateRoundTrip(t *testing.T) {
+	c := NewCostModel(3, 0.5)
+	c.Seed([]float64{10, 20, 30})
+	c.Observe(0, 4)
+	c.Observe(0, 6)
+	c.Observe(2, 9)
+
+	st := c.State()
+	r := CostModelFromState(st)
+	if r.Alpha() != c.Alpha() || r.Len() != c.Len() {
+		t.Fatalf("shape lost: %+v", st)
+	}
+	for i := 0; i < c.Len(); i++ {
+		if r.Predict(i) != c.Predict(i) {
+			t.Fatalf("pred[%d]: %g vs %g", i, r.Predict(i), c.Predict(i))
+		}
+		if r.Observations(i) != c.Observations(i) {
+			t.Fatalf("hits[%d]: %d vs %d", i, r.Observations(i), c.Observations(i))
+		}
+	}
+	// Future observations evolve identically.
+	e1, f1 := c.Observe(0, 8)
+	e2, f2 := r.Observe(0, 8)
+	if e1 != e2 || f1 != f2 || c.Predict(0) != r.Predict(0) {
+		t.Fatal("restored model diverged on the next observation")
+	}
+	// The snapshot is a copy: mutating the original must not leak in.
+	c.Observe(1, 100)
+	if st.Pred[1] != 20 {
+		t.Fatal("State shares storage with the live model")
+	}
+}

@@ -27,6 +27,8 @@
 // decisions (sim_test.go, docs/load-balancing.md).
 package sched
 
+import "fmt"
+
 // Policy selects how the planner reacts to measured costs between
 // objective calls.
 type Policy int
@@ -54,6 +56,19 @@ func (p Policy) String() string {
 		return "lpt"
 	}
 	return "unknown"
+}
+
+// ParsePolicy inverts Policy.String — checkpoint decoding.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "ewma":
+		return PolicyEWMA, nil
+	case "static":
+		return PolicyStatic, nil
+	case "lpt":
+		return PolicyLPT, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", s)
 }
 
 // Config shapes the v2 scheduler. The zero value is NOT enabled: the

@@ -1,6 +1,10 @@
 package sched
 
-import "sync"
+import (
+	"sync"
+
+	"rms/internal/budget"
+)
 
 // StealSet is the intra-rank work-stealing structure: one deque per
 // lane, all protected by a single mutex (queues are short — tens of
@@ -17,6 +21,29 @@ type StealSet struct {
 	pending []float64 // predicted cost still queued per lane
 	steal   bool
 	steals  int
+	budget  *budget.Budget
+}
+
+// WithBudget arms cooperative cancellation: once b trips, Next reports
+// no work for every lane, so Run's lanes drain out cleanly with items
+// still queued. Returns s for chaining; a nil budget is a no-op.
+func (s *StealSet) WithBudget(b *budget.Budget) *StealSet {
+	s.mu.Lock()
+	s.budget = b
+	s.mu.Unlock()
+	return s
+}
+
+// Remaining returns how many items are still queued across all lanes —
+// nonzero after a budget-cancelled Run, zero after a complete drain.
+func (s *StealSet) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
 }
 
 // NewStealSet wraps per-lane queues. steal == false turns Next into a
@@ -48,6 +75,9 @@ func (s *StealSet) Lanes() int { return len(s.queues) }
 func (s *StealSet) Next(lane int) (it Item, victim int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.budget.Check() != nil {
+		return Item{}, -1, false
+	}
 	if q := s.queues[lane]; len(q) > 0 {
 		it = q[0]
 		s.queues[lane] = q[1:]

@@ -23,6 +23,9 @@ go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stal
 	./internal/faults/... ./internal/mpi ./internal/estimator ./internal/nlopt \
 	./internal/conformance
 
+echo "== chaos soak (make chaos: degradation ladders, checkpoint/resume, budgets)"
+make chaos
+
 echo "== fuzz smoke (FuzzParseRDL, 10s)"
 go test -fuzz=FuzzParseRDL -fuzztime=10s ./internal/rdl
 
