@@ -1,6 +1,7 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check race fuzz bench faults verify chaos
+.PHONY: build test check race fuzz bench faults verify chaos \
+	bench-compare bench-baseline introspect-smoke
 
 build:
 	go build ./...
@@ -49,3 +50,18 @@ chaos:
 
 bench:
 	go test -bench . -benchtime 1s ./internal/bench/ .
+
+# Bench regression gate (docs/observability.md): re-run the
+# deterministic scheduler-scaling bench and hold it to the committed
+# BENCH_baseline.json within cmd/benchcmp's tolerance band. Re-seed the
+# baseline with bench-baseline after an intentional performance change.
+bench-compare:
+	./scripts/bench_compare.sh
+
+bench-baseline:
+	./scripts/bench_compare.sh -update
+
+# Live-introspection smoke: rmssim -listen, scrape /metrics, /healthz,
+# /debug/vars and /debug/events while the integration runs.
+introspect-smoke:
+	./scripts/introspect_smoke.sh

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, tol float64, skip, base, cur string) []finding {
+	t.Helper()
+	cfg := cmpConfig{tol: tol, skip: regexp.MustCompile(skip)}
+	var b, c any
+	if err := json.Unmarshal([]byte(base), &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(cur), &c); err != nil {
+		t.Fatal(err)
+	}
+	return compare(cfg, b, c, "$")
+}
+
+func failures(fs []finding) int {
+	n := 0
+	for _, f := range fs {
+		if f.fails() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWithinToleranceOK(t *testing.T) {
+	fs := run(t, 0.10, defaultSkip,
+		`{"skew":[{"Policy":"lpt","ModeledOps":100,"ModeledSec":5.0,"BitIdentical":true}]}`,
+		`{"skew":[{"Policy":"lpt","ModeledOps":108,"ModeledSec":9.9,"BitIdentical":true}]}`)
+	if failures(fs) != 0 {
+		t.Fatalf("in-band drift (and skipped ModeledSec) reported: %v", fs)
+	}
+}
+
+func TestOutOfBandFails(t *testing.T) {
+	fs := run(t, 0.10, defaultSkip,
+		`{"skew":[{"ModeledOps":100}]}`,
+		`{"skew":[{"ModeledOps":125}]}`)
+	if failures(fs) != 1 {
+		t.Fatalf("25%% regression not flagged: %v", fs)
+	}
+	if !strings.Contains(fs[0].String(), "+20.0%") { // symmetric scale: 25/125
+		t.Fatalf("finding misreports the delta: %s", fs[0])
+	}
+}
+
+func TestExactFieldsMustMatch(t *testing.T) {
+	fs := run(t, 0.10, defaultSkip,
+		`{"skew":[{"BitIdentical":true,"Policy":"sched"}]}`,
+		`{"skew":[{"BitIdentical":false,"Policy":"sched"}]}`)
+	if failures(fs) != 1 {
+		t.Fatalf("boolean flip not flagged exactly once: %v", fs)
+	}
+}
+
+func TestMetricsAlignByName(t *testing.T) {
+	base := `{"metrics":[
+		{"name":"ode.steps","kind":"counter","value":1000},
+		{"name":"tape.evals","kind":"counter","value":500}]}`
+	// Current run adds a family in the middle and drops none: index
+	// alignment would garble the comparison; name alignment must not.
+	cur := `{"metrics":[
+		{"name":"lm.iters","kind":"counter","value":7},
+		{"name":"ode.steps","kind":"counter","value":1010},
+		{"name":"tape.evals","kind":"counter","value":505}]}`
+	fs := run(t, 0.10, defaultSkip, base, cur)
+	if failures(fs) != 0 {
+		t.Fatalf("name-aligned metrics flagged failures: %v", fs)
+	}
+	extra := 0
+	for _, f := range fs {
+		if f.kind == "extra" {
+			extra++
+		}
+	}
+	if extra != 1 {
+		t.Fatalf("new family not reported as informational: %v", fs)
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	fs := run(t, 0.10, defaultSkip,
+		`{"metrics":[{"name":"ode.steps","kind":"counter","value":1000}]}`,
+		`{"metrics":[{"name":"lm.iters","kind":"counter","value":7}]}`)
+	if failures(fs) == 0 {
+		t.Fatalf("vanished metric family not flagged: %v", fs)
+	}
+}
+
+func TestSkipPatternExcludesTimingFamilies(t *testing.T) {
+	fs := run(t, 0.0, defaultSkip,
+		`{"metrics":[{"name":"estimator.file_solve_ns","kind":"histogram","value":1e9}],"x_seconds":4}`,
+		`{"metrics":[{"name":"estimator.file_solve_ns","kind":"histogram","value":9e9}],"x_seconds":9}`)
+	if len(fs) != 0 {
+		t.Fatalf("wall-clock fields not skipped: %v", fs)
+	}
+}
+
+func TestShapeMismatch(t *testing.T) {
+	fs := run(t, 0.10, defaultSkip, `{"skew":[1,2,3]}`, `{"skew":[1,2]}`)
+	if failures(fs) != 1 || fs[0].kind != "shape" {
+		t.Fatalf("length mismatch not a shape finding: %v", fs)
+	}
+}
+
+func TestNearZeroAbsoluteFloor(t *testing.T) {
+	// 1e-9 vs 3e-9 is a 3x relative change but absolutely negligible —
+	// the floor of 1 in relDelta must keep it inside the band.
+	fs := run(t, 0.10, defaultSkip, `{"v":1e-9}`, `{"v":3e-9}`)
+	if failures(fs) != 0 {
+		t.Fatalf("near-zero noise amplified into a failure: %v", fs)
+	}
+}

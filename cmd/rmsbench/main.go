@@ -25,6 +25,8 @@
 //	              includes a telemetry snapshot for the estimator-driven
 //	              benches, and moves human-readable summaries to stderr
 //	-trace f, -metrics, -pprof addr, -cpuprofile f
+//	-listen addr  serve the live introspection endpoints while benches run
+//	-log level    mirror flight-recorder events at this level to stderr
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"rms/internal/bench"
+	"rms/internal/introspect"
 	"rms/internal/telemetry"
 )
 
@@ -73,8 +76,8 @@ type ablationReport struct {
 
 func main() {
 	var cfg benchConfig
-	var trace, pprof, cpuProf string
-	var metrics bool
+	var trace, pprof, cpuProf, listen, logLvl string
+	var metrics, logJSON bool
 	flag.IntVar(&cfg.table, "table", 0, "which table to regenerate (1 or 2)")
 	flag.BoolVar(&cfg.full, "full", false, "table 1: paper-scale sizes (static counts only)")
 	flag.BoolVar(&cfg.ablate, "ablate", false, "run the optimizer ablation study")
@@ -95,8 +98,12 @@ func main() {
 	flag.BoolVar(&metrics, "metrics", false, "print the telemetry metrics registry after the run")
 	flag.StringVar(&pprof, "pprof", "", "serve net/http/pprof on this address")
 	flag.StringVar(&cpuProf, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&listen, "listen", "", "serve the live introspection endpoints on this address")
+	flag.StringVar(&logLvl, "log", "", "mirror flight-recorder events at this level (debug|info|warn|error) to stderr")
+	flag.BoolVar(&logJSON, "logjson", false, "sink mirrored events as JSON lines")
 	flag.Parse()
-	cfg.obs = telemetry.CLI{TracePath: trace, Metrics: metrics, PprofAddr: pprof, CPUProfile: cpuProf}
+	cfg.obs = telemetry.CLI{TracePath: trace, Metrics: metrics, PprofAddr: pprof,
+		CPUProfile: cpuProf, Listen: listen, LogLevel: logLvl, LogJSON: logJSON}
 	if cfg.jsonOut {
 		cfg.obs.Out = os.Stderr // keep stdout clean JSON
 	}
@@ -107,14 +114,25 @@ func main() {
 }
 
 func run(w io.Writer, cfg benchConfig) error {
-	_, reg, finish, err := cfg.obs.Setup()
+	ins, finish, err := cfg.obs.Setup()
 	if err != nil {
 		return err
 	}
+	reg := ins.Registry
 	if cfg.jsonOut && reg == nil {
 		// -json always carries a telemetry snapshot of the
 		// estimator-driven benches, even without -metrics.
 		reg = telemetry.NewRegistry()
+	}
+	if cfg.obs.Listen != "" {
+		srv := &introspect.Server{Program: "rmsbench", Registry: reg,
+			Tracer: ins.Tracer, Recorder: ins.Recorder}
+		addr, err := srv.Start(cfg.obs.Listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rmsbench: introspection on http://%s\n", addr)
 	}
 	// Human-readable tables go to stdout normally, stderr under -json.
 	text := w

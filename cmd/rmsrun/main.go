@@ -12,6 +12,10 @@
 //
 //	-trace out.json    Chrome trace (one lane per MPI rank) + text summary
 //	-metrics           print the telemetry registry after the fit
+//	-listen addr       serve the live introspection endpoints (/metrics,
+//	                   /healthz, /debug/vars, /debug/trace, /progress)
+//	-log level         mirror flight-recorder events at this level to stderr
+//	-logjson           sink mirrored events as JSON lines instead of text
 //	-pprof addr        serve net/http/pprof on addr (e.g. localhost:6060)
 //	-cpuprofile f      write a CPU profile to f
 //
@@ -40,6 +44,7 @@ import (
 	"rms/internal/core"
 	"rms/internal/dataset"
 	"rms/internal/estimator"
+	"rms/internal/introspect"
 	"rms/internal/nlopt"
 	"rms/internal/ode"
 	"rms/internal/opt"
@@ -49,8 +54,10 @@ import (
 )
 
 // observeLM publishes per-iteration optimizer telemetry into reg (no-op
-// wiring when reg is nil: nil metrics absorb the writes).
-func observeLM(reg *telemetry.Registry) func(nlopt.IterEvent) {
+// wiring when reg is nil: nil metrics absorb the writes) and mirrors
+// each iteration into the flight recorder, which is what /progress
+// streams — one "lm.iter" event per LM iteration.
+func observeLM(reg *telemetry.Registry, log *telemetry.Logger) func(nlopt.IterEvent) {
 	iters := reg.Counter("lm.iterations")
 	trials := reg.Counter("lm.trials")
 	nonFinite := reg.Counter("lm.nonfinite_trials")
@@ -68,6 +75,9 @@ func observeLM(reg *telemetry.Registry) func(nlopt.IterEvent) {
 		lambda.Set(ev.Lambda)
 		rnorm.Set(ev.RNorm)
 		freeVars.Set(float64(ev.FreeVars))
+		log.Info("iter", "LM iteration",
+			"iter", ev.Iter, "rnorm", ev.RNorm, "lambda", ev.Lambda,
+			"improved", fmt.Sprint(ev.Improved), "trials", ev.Trials)
 	}
 }
 
@@ -99,6 +109,9 @@ func main() {
 		free     = flag.Int("free", 3, "number of rate constants left free to fit (rest pinned to truth)")
 		trace    = flag.String("trace", "", "write a Chrome trace-event file and print the span summary")
 		metrics  = flag.Bool("metrics", false, "print the telemetry metrics registry after the fit")
+		listen   = flag.String("listen", "", "serve the live introspection endpoints on this address (e.g. localhost:6060 or :0)")
+		logLvl   = flag.String("log", "", "mirror flight-recorder events at this level (debug|info|warn|error) to stderr")
+		logJSON  = flag.Bool("logjson", false, "sink mirrored events as JSON lines")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		ckpt     = flag.String("checkpoint", "", "write a resumable snapshot to this file at every LM iteration boundary")
@@ -111,7 +124,8 @@ func main() {
 	o := runOpts{
 		variants: *variants, ranks: *ranks, maxIter: *maxIter, free: *free,
 		dataDir: *dataDir, lb: *lb,
-		obs:            telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof, CPUProfile: *cpuProf},
+		obs: telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof,
+			CPUProfile: *cpuProf, Listen: *listen, LogLevel: *logLvl, LogJSON: *logJSON},
 		checkpointPath: *ckpt, resume: *resume, deadline: *deadline,
 		interrupt: sig,
 	}
@@ -127,20 +141,33 @@ func run(o runOpts) error {
 	if o.resume && o.checkpointPath == "" {
 		return fmt.Errorf("-resume needs -checkpoint")
 	}
-	tracer, reg, finish, err := obs.Setup()
+	ins, finish, err := obs.Setup()
 	if err != nil {
 		return err
 	}
+	tracer, reg := ins.Tracer, ins.Registry
 	mainLane := tracer.Lane("main") // nil tracer → nil lane, all no-ops
+	log := ins.Log.Scope("rmsrun")
+	checkpoint.SetLogger(ins.Log.Scope("checkpoint"))
 
 	// The fit budget: a deadline if requested, cancelled early by SIGINT.
 	// Both stop the run at the next cooperative check; with -checkpoint
 	// the snapshot from the last completed iteration stays resumable.
-	bud := budget.New()
+	bud := budget.New().WithLogger(ins.Log.Scope("budget"))
 	if o.deadline > 0 {
 		bud = bud.WithDeadline(o.deadline)
 	}
 	defer bud.Cancel("run finished")
+	if obs.Listen != "" {
+		srv := &introspect.Server{Program: "rmsrun", Registry: reg,
+			Tracer: tracer, Recorder: ins.Recorder, Budget: bud}
+		addr, err := srv.Start(obs.Listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rmsrun: introspection on http://%s\n", addr)
+	}
 	if o.interrupt != nil {
 		go func() {
 			select {
@@ -194,7 +221,7 @@ func run(o runOpts) error {
 		ode.Options{RTol: 1e-9, ATol: 1e-12})
 	est, err := estimator.New(model, files, estimator.Config{
 		Ranks: ranks, LoadBalance: lb, Trace: tracer, Metrics: reg,
-		Budget: bud,
+		Budget: bud, Log: ins.Log,
 	})
 	if err != nil {
 		return err
@@ -217,9 +244,7 @@ func run(o runOpts) error {
 		}
 	}
 	lmOpts := nlopt.Options{MaxIter: maxIter, RelStep: 1e-4, KeepJacobian: true}
-	if reg != nil {
-		lmOpts.Observer = observeLM(reg)
-	}
+	lmOpts.Observer = observeLM(reg, log)
 	if o.checkpointPath != "" {
 		lmOpts.Checkpoint = func(cs nlopt.CheckState) error {
 			return checkpoint.SaveRun(o.checkpointPath, checkpoint.RunState{

@@ -15,6 +15,10 @@
 // Observability (summaries go to stderr; stdout stays clean CSV):
 //
 //	-trace f, -metrics, -pprof addr, -cpuprofile f
+//	-listen addr  serve the introspection endpoints (/metrics, /healthz,
+//	              /debug/vars, /debug/trace, /debug/events, /progress)
+//	-log level    echo structured events at or above level to stderr
+//	-logjson      JSON log lines instead of text
 //
 // Robustness:
 //
@@ -38,6 +42,7 @@ import (
 	"rms/internal/budget"
 	"rms/internal/checkpoint"
 	"rms/internal/core"
+	"rms/internal/introspect"
 	"rms/internal/linalg"
 	"rms/internal/ode"
 	"rms/internal/opt"
@@ -91,6 +96,9 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "write a resumable snapshot to this file after every output row")
 		resume   = flag.Bool("resume", false, "resume the trajectory from the -checkpoint file")
 		deadline = flag.Duration("deadline", 0, "stop integrating after this long (0 = no deadline)")
+		listen   = flag.String("listen", "", "serve the introspection debug endpoints on this address (e.g. :6161)")
+		logLvl   = flag.String("log", "", "echo structured events at or above this level (debug|info|warn|error) to stderr")
+		logJSON  = flag.Bool("logjson", false, "emit log lines as JSON instead of text")
 	)
 	flag.Parse()
 	sig := make(chan os.Signal, 1)
@@ -99,7 +107,8 @@ func main() {
 		rcipPath: *rcipPath, tEnd: *tEnd, points: *points, solver: *solver,
 		rtol: *rtol, atol: *atol, args: flag.Args(),
 		obs: telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof,
-			CPUProfile: *cpuProf, Out: os.Stderr},
+			CPUProfile: *cpuProf, Out: os.Stderr,
+			Listen: *listen, LogLevel: *logLvl, LogJSON: *logJSON},
 		checkpointPath: *ckpt, resume: *resume, deadline: *deadline,
 		interrupt: sig,
 	}
@@ -136,11 +145,14 @@ func run(w io.Writer, o simOpts) error {
 	if o.resume && o.checkpointPath == "" {
 		return fmt.Errorf("-resume needs -checkpoint")
 	}
-	tracer, reg, finish, err := obs.Setup()
+	ins, finish, err := obs.Setup()
 	if err != nil {
 		return err
 	}
+	tracer, reg := ins.Tracer, ins.Registry
 	lane := tracer.Lane("main")
+	log := ins.Log.Scope("rmssim")
+	checkpoint.SetLogger(ins.Log.Scope("checkpoint"))
 
 	if len(args) != 1 {
 		return fmt.Errorf("expected one model file, got %d", len(args))
@@ -152,12 +164,31 @@ func run(w io.Writer, o simOpts) error {
 		return fmt.Errorf("tend must be positive, got %g", tEnd)
 	}
 
-	bud := budget.New()
+	bud := budget.New().WithLogger(ins.Log.Scope("budget"))
 	if o.deadline > 0 {
 		bud = bud.WithDeadline(o.deadline)
 	}
 	defer bud.Cancel("run finished")
+	if obs.Listen != "" {
+		dbg := &introspect.Server{Program: "rmssim", Registry: reg,
+			Tracer: tracer, Recorder: ins.Recorder, Budget: bud}
+		addr, err := dbg.Start(obs.Listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rmssim: introspection on http://%s\n", addr)
+		defer dbg.Close()
+	}
 	if o.interrupt != nil {
+		// A signal already queued before the run starts must win
+		// deterministically — don't leave it to goroutine scheduling
+		// against a short integration.
+		select {
+		case <-o.interrupt:
+			fmt.Fprintln(os.Stderr, "rmssim: interrupt — stopping at the next output row")
+			bud.Cancel("interrupt signal")
+		default:
+		}
 		go func() {
 			select {
 			case <-o.interrupt:
@@ -203,7 +234,7 @@ func run(w io.Writer, o simOpts) error {
 	ev.Observe(reg)
 	rhs := func(_ float64, y, dy []float64) { ev.Eval(y, k, dy) }
 	n := len(res.System.Y0)
-	opts := ode.Options{RTol: rtol, ATol: atol, Budget: bud}
+	opts := ode.Options{RTol: rtol, ATol: atol, Budget: bud, Log: ins.Log.Scope("ode")}
 	if reg != nil {
 		opts.Observer = observeSolver(reg)
 	}
@@ -246,6 +277,8 @@ func run(w io.Writer, o simOpts) error {
 		writeRow(w, 0, y)
 	}
 	lane.Begin("integrate")
+	log.Info("start", "integration started", "solver", solverName,
+		"points", points, "tend", tEnd, "from_row", startRow)
 	for i := startRow; i < points; i++ {
 		t0 := tEnd * float64(i-1) / float64(points-1)
 		t1 := tEnd * float64(i) / float64(points-1)
@@ -261,6 +294,7 @@ func run(w io.Writer, o simOpts) error {
 			return err
 		}
 		writeRow(w, t1, y)
+		log.Debug("row", "output row", "row", i, "t", t1)
 		if o.checkpointPath != "" {
 			st := simState{Points: points, TEnd: tEnd, Solver: solverName,
 				Row: i, Y: append([]float64(nil), y...)}

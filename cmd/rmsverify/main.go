@@ -15,7 +15,10 @@
 // under -shrinkdir (default testdata/, created on demand); the exit
 // status is 1 when any stage diverges. -metrics prints the telemetry
 // registry (per-stage case/check/failure counters and max-ulp gauges)
-// after the run.
+// after the run. -listen serves the live introspection endpoints while
+// the matrix runs. On failure, the full /debug/vars snapshot is also
+// written (checkpoint-enveloped, content-hashed) next to the shrunken
+// reproducers, so a failure report carries its telemetry with it.
 package main
 
 import (
@@ -23,8 +26,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"rms/internal/conformance"
+	"rms/internal/introspect"
 	"rms/internal/telemetry"
 )
 
@@ -43,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shrinkDir := fs.String("shrinkdir", "testdata", "directory for shrunken reproducers (\"\" disables)")
 	verbose := fs.Bool("v", false, "log each case and failure")
 	metrics := fs.Bool("metrics", false, "print the telemetry registry after the run")
+	listen := fs.String("listen", "", "serve the live introspection endpoints on this address")
 	list := fs.Bool("list", false, "list the stage matrix and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,6 +61,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	reg := telemetry.NewRegistry()
+	srv := &introspect.Server{Program: "rmsverify", Registry: reg,
+		Recorder: telemetry.NewRecorder(telemetry.DefaultRecorderSize)}
+	if *listen != "" {
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintf(stderr, "rmsverify: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "rmsverify: introspection on http://%s\n", addr)
+	}
 	cfg := conformance.Config{
 		Seed: *seed, N: *n, Size: *size, Stages: *stages, Tol: *tol,
 		Registry: reg, ShrinkDir: *shrinkDir,
@@ -87,6 +104,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if st.Reproducer != "" {
 				fmt.Fprintf(stderr, "     reproducer (%d species): %s\n",
 					st.ReproducerSpecies, st.Reproducer)
+			}
+		}
+		// Attach the full telemetry state to the failure report: the
+		// /debug/vars snapshot round-trips through the checkpoint envelope
+		// (versioned, sha256 content hash, canonical field order), so a
+		// reproducer directory carries exactly what the run measured.
+		if *shrinkDir != "" {
+			if data, err := introspect.MarshalVars(srv.Vars()); err == nil {
+				path := filepath.Join(*shrinkDir, "rmsverify_vars.json")
+				if os.MkdirAll(*shrinkDir, 0o755) == nil &&
+					os.WriteFile(path, data, 0o644) == nil {
+					fmt.Fprintf(stderr, "     telemetry snapshot: %s\n", path)
+				}
 			}
 		}
 		fmt.Fprintf(stdout, "FAIL (%d stages, %d models, %d failing cases)\n",

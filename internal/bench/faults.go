@@ -36,6 +36,14 @@ type FaultsRow struct {
 	// unit — so the true overhead sits well below this bound.
 	BudgetChecks int64
 	BudgetOvhPct float64
+	// RecEvents counts the flight-recorder events the scenario emitted
+	// (the recorder is armed but unscraped, as in a production run);
+	// RecOvhPct bounds their cost the same way BudgetOvhPct does — events
+	// per modeled solver op, in percent. One event is one small
+	// allocation plus one atomic store, far below one op unit, so the
+	// enabled-but-idle recorder overhead sits well under this bound.
+	RecEvents uint64
+	RecOvhPct float64
 	// Recovery counts the fault-tolerance interventions performed.
 	Recovery estimator.RecoveryStats
 	// Degrade counts the graceful-degradation ladder activations
@@ -112,13 +120,20 @@ func FaultTolerance(cfg FaultsConfig) ([]FaultsRow, error) {
 		// the table shows what the cancellation machinery costs when armed.
 		bud := budget.New()
 		defer bud.Cancel("bench scenario done")
+		// A per-scenario flight recorder with a scoped logger threaded
+		// through every instrumented layer: the always-on configuration,
+		// with nobody scraping — what a production run pays.
+		rec := telemetry.NewRecorder(telemetry.DefaultRecorderSize)
+		log := telemetry.NewLogger(rec)
+		bud = bud.WithLogger(log.Scope("budget"))
 		ecfg := estimator.Config{
 			Ranks: cfg.Ranks, LoadBalance: true,
 			FaultTolerant: true, Watchdog: watchdog,
 			Budget: bud, Retry: estimator.RetryPolicy{AttemptTimeout: attempt},
-			Metrics: cfg.Metrics,
+			Metrics: cfg.Metrics, Log: log,
 		}
 		if plan != nil {
+			plan.WithLogger(log.Scope("faults"))
 			ecfg.Faults = plan
 			ecfg.Hook = plan
 		}
@@ -138,11 +153,13 @@ func FaultTolerance(cfg FaultsConfig) ([]FaultsRow, error) {
 			ModeledOps:   est.ModeledOps(),
 			WallSeconds:  est.WallSeconds(),
 			BudgetChecks: bud.Checks(),
+			RecEvents:    rec.Total(),
 			Recovery:     est.Recovery(),
 			Degrade:      est.Degrade(),
 		}
 		if row.ModeledOps > 0 {
 			row.BudgetOvhPct = 100 * float64(row.BudgetChecks) / row.ModeledOps
+			row.RecOvhPct = 100 * float64(row.RecEvents) / row.ModeledOps
 		}
 		return row, nil
 	}
@@ -207,8 +224,8 @@ func formatDegrade(d estimator.DegradeStats) string {
 // FormatFaults renders the fault-tolerance overhead table.
 func FormatFaults(rows []FaultsRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %-13s %-10s %-9s %-10s %-30s %-16s"+NL,
-		"scenario", "modeled ops", "overhead", "wall", "bdgt ovh", "recovery", "degrade")
+	fmt.Fprintf(&b, "%-28s %-13s %-10s %-9s %-10s %-14s %-30s %-16s"+NL,
+		"scenario", "modeled ops", "overhead", "wall", "bdgt ovh", "rec ovh", "recovery", "degrade")
 	for _, r := range rows {
 		rec := r.Recovery
 		recCol := fmt.Sprintf("retry %d, penal %d, rank %d, wdog %d",
@@ -217,16 +234,19 @@ func FormatFaults(rows []FaultsRow) string {
 		if r.Scenario != "clean" {
 			ovCol = fmt.Sprintf("%+.1f%%", r.OverheadPct)
 		}
-		fmt.Fprintf(&b, "%-28s %-13.3g %-10s %-9s %-10s %-30s %-16s"+NL,
+		fmt.Fprintf(&b, "%-28s %-13.3g %-10s %-9s %-10s %-14s %-30s %-16s"+NL,
 			r.Scenario, r.ModeledOps, ovCol,
 			fmt.Sprintf("%.2fs", r.WallSeconds),
 			fmt.Sprintf("<%.3f%%", r.BudgetOvhPct),
+			fmt.Sprintf("%d <%.4f%%", r.RecEvents, r.RecOvhPct),
 			recCol, formatDegrade(r.Degrade))
 	}
 	b.WriteString("overhead = modeled solver ops vs the clean run; retries and re-runs on" + NL)
 	b.WriteString("shrunk communicators are counted work (see docs/fault-tolerance.md)." + NL)
 	b.WriteString("bdgt ovh bounds the cancellation polls' cost (checks per modeled op," + NL)
-	b.WriteString("each a single atomic load); degrade counts ladder activations" + NL)
-	b.WriteString("(docs/checkpointing.md)" + NL)
+	b.WriteString("each a single atomic load); rec ovh bounds the always-on flight" + NL)
+	b.WriteString("recorder the same way (events per modeled op, each one allocation plus" + NL)
+	b.WriteString("one atomic store — docs/observability.md); degrade counts ladder" + NL)
+	b.WriteString("activations (docs/checkpointing.md)" + NL)
 	return b.String()
 }

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rms/internal/telemetry"
 )
 
 // ErrExhausted is the base class of every budget trip; errors.Is against
@@ -63,6 +65,12 @@ type Budget struct {
 	checks atomic.Int64  // Check call count (overhead accounting)
 	maxOps float64       // 0 = unlimited
 	reason atomic.Value  // string, set on trip
+
+	// log, when set, records the trip in the flight recorder: Cancel at
+	// info level (an ordinary shutdown), deadline and op-cap trips at
+	// error level — the post-mortem triggers. Set once at wiring time
+	// (WithLogger), before the budget is shared.
+	log *telemetry.Logger
 
 	mu    sync.Mutex
 	done  chan struct{}
@@ -104,6 +112,17 @@ func (b *Budget) WithOpCap(ops float64) *Budget {
 	if ops > 0 {
 		b.maxOps = ops
 	}
+	return b
+}
+
+// WithLogger attaches a structured logger that records the budget's
+// trip (see Budget.log). Call at construction, before the budget is
+// shared across goroutines. Returns b.
+func (b *Budget) WithLogger(l *telemetry.Logger) *Budget {
+	if b == nil {
+		return nil
+	}
+	b.log = l
 	return b
 }
 
@@ -151,6 +170,15 @@ func (b *Budget) trip(st int32, reason string) {
 	}
 	close(b.done)
 	b.mu.Unlock()
+	switch st {
+	case stCancelled:
+		b.log.Info("cancel", "budget cancelled", "reason", reason)
+	case stDeadline:
+		b.log.Error("deadline", "budget deadline exceeded", "ops", b.Ops())
+	case stOpCap:
+		b.log.Error("opcap", "budget op cap spent",
+			"ops", b.Ops(), "cap", b.maxOps)
+	}
 }
 
 // Check reports whether the budget (or a chained parent) has been

@@ -20,7 +20,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
+
+	"rms/internal/telemetry"
 )
+
+// logger is the package's structured logger (checkpoint writes are part
+// of the flight-recorder timeline). Swappable at runtime because the
+// cmds wire their instruments after flag parsing; a nil logger is free.
+var logger atomic.Pointer[telemetry.Logger]
+
+// SetLogger routes checkpoint-write events to l (nil disables).
+func SetLogger(l *telemetry.Logger) { logger.Store(l) }
 
 // Version is the envelope format version. Load rejects files written by
 // a different version rather than guessing at field semantics.
@@ -117,6 +128,8 @@ func Save(path, kind string, payload any) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: commit %s: %w", path, err)
 	}
+	logger.Load().Info("write", "checkpoint written",
+		"path", path, "kind", kind, "bytes", len(data))
 	return nil
 }
 

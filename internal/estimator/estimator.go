@@ -141,6 +141,12 @@ type Config struct {
 	// time and the fault-recovery counters. Nil costs nothing — every
 	// metric degrades to a no-op.
 	Metrics *telemetry.Registry
+	// Log, when non-nil, records the estimator's fault/recovery/
+	// degradation narrative — retries, penalties, watchdog trips, rank
+	// recoveries, ladder demotions, sched replans — in the flight
+	// recorder (and any attached sink). Per-step hot paths never log;
+	// nil costs nothing.
+	Log *telemetry.Logger
 }
 
 // estMetrics bundles the estimator's registry handles; the zero value
@@ -267,9 +273,13 @@ type Estimator struct {
 	mispredicts int
 
 	// met holds the registry handles (all nil without cfg.Metrics); lane
-	// is the estimator's own telemetry timeline (nil without cfg.Trace).
-	met  estMetrics
-	lane *telemetry.Lane
+	// is the estimator's own telemetry timeline (nil without cfg.Trace);
+	// log and mpiLog are the scoped event-log handles (nil without
+	// cfg.Log — every call degrades to a no-op).
+	met    estMetrics
+	lane   *telemetry.Lane
+	log    *telemetry.Logger
+	mpiLog *telemetry.Logger
 
 	// Accumulated across objective calls:
 	calls       int
@@ -306,6 +316,8 @@ func New(model *Model, files []*dataset.File, cfg Config) (*Estimator, error) {
 	e.assignment = blockAssign(len(files), cfg.Ranks)
 	e.met = newEstMetrics(cfg.Metrics) // nil registry → all-no-op handles
 	e.lane = cfg.Trace.Lane("estimator")
+	e.log = cfg.Log.Scope("estimator")
+	e.mpiLog = cfg.Log.Scope("mpi")
 	if cfg.Sched != nil && cfg.Sched.Rebalance {
 		sc := cfg.Sched.WithDefaults()
 		if cfg.FaultTolerant || cfg.Faults != nil {
@@ -536,6 +548,9 @@ func (e *Estimator) Objective(k []float64, residual []float64) error {
 		if e.lane != nil {
 			e.lane.Instant(fmt.Sprintf("rank recovery (shrink to %d)", ranks))
 		}
+		e.log.Warn("recovery", "rank recovery: shrink and re-run",
+			"call", e.calls, "dead", len(dead), "ranks", ranks,
+			"watchdog", fmt.Sprint(rep.WatchdogFired))
 	}
 	if err := e.cfg.Budget.Check(); err != nil {
 		// The budget tripped after the last collective completed: the
@@ -584,7 +599,7 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 	var firstErr error
 	call := e.calls
 	cfg := mpi.RunConfig{Watchdog: e.cfg.Watchdog, Hook: e.cfg.Hook, Trace: e.cfg.Trace,
-		Budget: e.cfg.Budget}
+		Budget: e.cfg.Budget, Log: e.mpiLog}
 	rep := mpi.RunErr(ranks, cfg, func(c *mpi.Comm) error {
 		localErr := make([]float64, m)
 		localTime := make([]float64, nf)
@@ -633,6 +648,8 @@ func (e *Estimator) runCall(k []float64, assignment [][]int, ranks, m, nf int) (
 			func() {
 				lane.Begin("solve " + e.files[fi].Name)
 				defer lane.End()
+				e.log.Debug("solve", "file solve",
+					"call", call, "rank", c.Rank(), "file", e.files[fi].Name)
 				if e.cfg.FaultTolerant {
 					st, _, retries, penalized := e.solveFileFT(ev, pool, e.files[fi], k, scratch, localErr, call, c.Rank(), fi)
 					localTime[fi] = e.workOps(st) * slow
@@ -941,6 +958,7 @@ func (e *Estimator) noteBatchDegrade(lane *telemetry.Lane) {
 	e.degrade.BatchSerial++
 	e.recMu.Unlock()
 	lane.Instant("degrade: batch → serial")
+	e.log.Warn("degrade", "batched solve demoted to per-file serial path")
 }
 
 // Estimate fits the rate constants within the chemist's bounds by

@@ -143,11 +143,13 @@ func (e *Estimator) Degrade() DegradeStats {
 }
 
 // noteTimeout records one per-attempt watchdog trip.
-func (e *Estimator) noteTimeout() {
+func (e *Estimator) noteTimeout(call, rank, fi int) {
 	e.met.degradeTimeout.Inc()
 	e.recMu.Lock()
 	e.degrade.SolveTimeouts++
 	e.recMu.Unlock()
+	e.log.Warn("timeout", "solve attempt watchdog tripped",
+		"call", call, "rank", rank, "file", fi)
 }
 
 // checkPoolFault consults the injector's pool-fault schedule once per
@@ -169,6 +171,8 @@ func (e *Estimator) checkPoolFault() {
 	e.degrade.PoolSerial++
 	e.recMu.Unlock()
 	e.lane.Instant("degrade: pool → serial")
+	e.log.Warn("degrade", "pool fault: tape evaluation demoted to serial",
+		"call", e.calls)
 }
 
 // laneSlowdown returns the injected cost-inflation factor for a solve
@@ -320,10 +324,10 @@ func (e *Estimator) solveFileFT(ev *codegen.Evaluator, pool *parallel.Pool, f *d
 				return total, ode.Stats{}, attempt, false
 			}
 			// Attempt-level watchdog trip: a retryable timeout.
-			e.noteTimeout()
+			e.noteTimeout(call, rank, fi)
 			err = fmt.Errorf("estimator: solve attempt watchdog: %w", ode.ErrTooManySteps)
 		} else if errors.Is(err, faults.ErrInjectedTimeout) {
-			e.noteTimeout()
+			e.noteTimeout(call, rank, fi)
 		}
 		if err == nil {
 			for i := 0; i < nr; i++ {
@@ -339,8 +343,13 @@ func (e *Estimator) solveFileFT(ev *codegen.Evaluator, pool *parallel.Pool, f *d
 			for i := 0; i < nr; i++ {
 				errvec[i] += pol.Penalty
 			}
+			e.log.Warn("penalize", "file penalized: attempts exhausted or unretryable",
+				"call", call, "rank", rank, "file", fi,
+				"attempts", attempt+1, "err", err)
 			return total, ode.Stats{}, attempt, true
 		}
+		e.log.Info("retry", "solve retry at tightened tolerances",
+			"call", call, "rank", rank, "file", fi, "attempt", attempt+1)
 	}
 }
 

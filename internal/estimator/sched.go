@@ -125,6 +125,9 @@ func (e *Estimator) objectiveSched(k, residual []float64, start time.Time) error
 		ranks -= len(dead)
 		plans, _ = sched.Plan(e.cost.Predictions(), e.nrecs, ranks, e.schedCfg)
 		e.lane.Instant(fmt.Sprintf("rank recovery (shrink to %d)", ranks))
+		e.log.Warn("recovery", "rank recovery: shrink and re-plan",
+			"call", e.calls, "dead", len(dead), "ranks", ranks,
+			"watchdog", fmt.Sprint(rep.WatchdogFired))
 	}
 	if err := e.cfg.Budget.Check(); err != nil {
 		// Tripped after the last collective completed: ranks may have
@@ -203,6 +206,8 @@ func (e *Estimator) objectiveSched(k, residual []float64, start time.Time) error
 			e.degrade.SchedStatic++
 			e.recMu.Unlock()
 			e.lane.Instant("degrade: sched ewma → lpt")
+			e.log.Warn("degrade", "sched cost model demoted: ewma → lpt",
+				"call", e.calls, "mispredicts", e.mispredicts)
 		}
 	}
 	splits := 0
@@ -221,6 +226,8 @@ func (e *Estimator) objectiveSched(k, residual []float64, start time.Time) error
 	e.met.schedSplits.Add(int64(splits))
 	e.met.schedReplans.Inc()
 	e.lane.Instant("rebalance (sched " + e.schedCfg.Policy.String() + ")")
+	e.log.Debug("replan", "schedule recomputed",
+		"call", e.calls, "policy", e.schedCfg.Policy.String(), "splits", splits)
 	return nil
 }
 
@@ -243,7 +250,7 @@ func (e *Estimator) runCallSched(k []float64, plans [][]sched.Item, ranks, m, nf
 	call := e.calls
 	sc := e.schedCfg
 	cfg := mpi.RunConfig{Watchdog: e.cfg.Watchdog, Hook: e.cfg.Hook, Trace: e.cfg.Trace,
-		Budget: e.cfg.Budget}
+		Budget: e.cfg.Budget, Log: e.mpiLog}
 	rep = mpi.RunErr(ranks, cfg, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		// One contribution buffer per rank; every (file, record) entry is
@@ -288,6 +295,9 @@ func (e *Estimator) runCallSched(k []float64, plans [][]sched.Item, ranks, m, nf
 			// — exactly how a chronically slow worker looks to the cost
 			// model and the virtual-clock replay.
 			slow := e.laneSlowdown(call, rank, laneIdx)
+			e.log.Debug("solve", "file solve",
+				"call", call, "rank", rank, "file", f.Name,
+				"lo", it.Lo, "hi", it.Hi)
 			if useLane {
 				lane.Begin("solve " + f.Name)
 				defer lane.End()

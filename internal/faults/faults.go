@@ -23,6 +23,7 @@ import (
 
 	"rms/internal/mpi"
 	"rms/internal/ode"
+	"rms/internal/telemetry"
 )
 
 // ErrInjected is the error injected file-solve failures return. It wraps
@@ -72,6 +73,11 @@ type Plan struct {
 	slow     map[key]float64
 	slowRate float64
 	slowMax  float64
+
+	// log, when set, records every fired injection in the flight
+	// recorder — the "what was injected when" half of a chaos run's
+	// post-mortem timeline.
+	log *telemetry.Logger
 
 	counts Counts
 }
@@ -144,6 +150,15 @@ func (p *Plan) FailRate(rate float64) *Plan {
 	return p
 }
 
+// WithLogger routes fired-injection events to l (nil disables) and
+// returns the plan.
+func (p *Plan) WithLogger(l *telemetry.Logger) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.log = l
+	return p
+}
+
 // Counts returns the number of injections fired so far.
 func (p *Plan) Counts() Counts {
 	p.mu.Lock()
@@ -164,11 +179,13 @@ func (p *Plan) AtCollective(rank, seq int) mpi.HookAction {
 	if p.crash[k] {
 		delete(p.crash, k)
 		p.counts.Crashes++
+		p.log.Warn("inject", "injected rank crash", "rank", rank, "nth", nth)
 		return mpi.ActCrash
 	}
 	if p.stall[k] {
 		delete(p.stall, k)
 		p.counts.Stalls++
+		p.log.Warn("inject", "injected rank stall", "rank", rank, "nth", nth)
 		return mpi.ActStall
 	}
 	return mpi.ActProceed
@@ -184,28 +201,38 @@ func (p *Plan) FileSolve(call, rank, file, attempt int) error {
 	if n, ok := p.hang[key{file, call}]; ok {
 		if n == allAttempts || attempt < n {
 			p.counts.Hangs++
+			p.logSolve("injected solve hang", call, rank, file, attempt)
 			return ErrInjectedHang
 		}
 	}
 	if n, ok := p.timeout[key{file, call}]; ok {
 		if n == allAttempts || attempt < n {
 			p.counts.Timeouts++
+			p.logSolve("injected solve timeout", call, rank, file, attempt)
 			return ErrInjectedTimeout
 		}
 	}
 	if n, ok := p.fileFail[key{file, call}]; ok {
 		if n == allAttempts || attempt < n {
 			p.counts.FileFailures++
+			p.logSolve("injected solve failure", call, rank, file, attempt)
 			return ErrInjected
 		}
 	}
 	if p.rate > 0 && attempt == 0 {
 		if hashUnit(p.seed, int64(call), int64(file)) < p.rate {
 			p.counts.FileFailures++
+			p.logSolve("injected solve failure (rate)", call, rank, file, attempt)
 			return ErrInjected
 		}
 	}
 	return nil
+}
+
+// logSolve records one fired per-solve injection. Called with p.mu held.
+func (p *Plan) logSolve(msg string, call, rank, file, attempt int) {
+	p.log.Warn("inject", msg,
+		"call", call, "rank", rank, "file", file, "attempt", attempt)
 }
 
 // hashUnit maps (seed, call, file) to a uniform value in [0, 1) with a

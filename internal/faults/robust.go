@@ -66,6 +66,7 @@ func (p *Plan) PoolFault(call int) bool {
 	if p.pool[call] {
 		delete(p.pool, call)
 		p.counts.PoolFaults++
+		p.log.Warn("inject", "injected pool fault", "call", call)
 		return true
 	}
 	return false

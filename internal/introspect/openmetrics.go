@@ -1,0 +1,80 @@
+// OpenMetrics text exposition of the telemetry registry. The registry's
+// dotted names ("estimator.file_solves") map onto the Prometheus naming
+// conventions (docs/observability.md): every family is prefixed rms_,
+// non-alphanumeric characters become underscores, counter sample names
+// take the mandatory _total suffix, and histograms expose cumulative
+// _bucket/_sum/_count series with the +Inf bucket derived from the
+// snapshot's total count. Output order follows the snapshot (sorted by
+// name), so consecutive scrapes diff cleanly.
+package introspect
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"rms/internal/telemetry"
+)
+
+// MetricName maps a registry name to its OpenMetrics family name:
+// "rms_" + the name with every character outside [a-zA-Z0-9_] replaced
+// by '_'.
+func MetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("rms_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// omFloat renders a sample value per the OpenMetrics grammar (shortest
+// round-trippable decimal; +Inf/-Inf/NaN spelled out).
+func omFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteOpenMetrics writes the snapshot in OpenMetrics text format,
+// terminated by the mandatory "# EOF" line. An empty snapshot writes
+// just the terminator — still a valid exposition.
+func WriteOpenMetrics(w io.Writer, snap []telemetry.MetricValue) {
+	for _, mv := range snap {
+		name := MetricName(mv.Name)
+		switch mv.Kind {
+		case telemetry.KindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+			fmt.Fprintf(w, "%s_total %s\n", name, omFloat(mv.Value))
+		case telemetry.KindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %s\n", name, omFloat(mv.Value))
+		case telemetry.KindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			for _, b := range mv.Buckets {
+				fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, omFloat(b.LE), b.Count)
+			}
+			// The implicit overflow bucket: cumulative count at +Inf is
+			// the snapshot's total count (see telemetry.Bucket).
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, mv.Count)
+			fmt.Fprintf(w, "%s_sum %s\n", name, omFloat(mv.Value))
+			fmt.Fprintf(w, "%s_count %d\n", name, mv.Count)
+		}
+	}
+	io.WriteString(w, "# EOF\n")
+}

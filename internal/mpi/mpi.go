@@ -88,6 +88,10 @@ type RunConfig struct {
 	// budget.ErrExhausted), and none of them count as Culprits, so
 	// recovery protocols do not mistake a cancellation for a dead rank.
 	Budget *budget.Budget
+	// Log, when non-nil, records communicator failure events — watchdog
+	// firings, rank panics, injected stalls, budget releases — in the
+	// flight recorder. The happy path never logs.
+	Log *telemetry.Logger
 }
 
 // RankState is one rank's state in a RunReport: the live snapshot taken
@@ -259,6 +263,7 @@ type world struct {
 	watchdogFired atomic.Bool
 	budgetFired   atomic.Bool
 	budget        *budget.Budget
+	log           *telemetry.Logger
 	dumpMu        sync.Mutex
 	dump          []RankState
 }
@@ -314,7 +319,7 @@ func RunErr(size int, cfg RunConfig, fn func(c *Comm) error) *RunReport {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: invalid communicator size %d", size))
 	}
-	w := &world{size: size, hook: cfg.Hook}
+	w := &world{size: size, hook: cfg.Hook, log: cfg.Log}
 	w.ch = make([][]chan any, size)
 	for i := range w.ch {
 		w.ch[i] = make([]chan any, size)
@@ -356,6 +361,8 @@ func RunErr(size int, cfg RunConfig, fn func(c *Comm) error) *RunReport {
 				w.dump = w.snapshot()
 				w.dumpMu.Unlock()
 				w.budgetFired.Store(true)
+				w.log.Warn("budget_release", "communicator released by budget trip",
+					"ranks", size)
 				w.deadOnce.Do(func() { close(w.dead) })
 			}
 		}()
@@ -394,10 +401,16 @@ func RunErr(size int, cfg RunConfig, fn func(c *Comm) error) *RunReport {
 					}
 				case stallError:
 					errs[rank] = fmt.Errorf("mpi: rank %d stalled at collective %d (injected fault)", rank, v.seq)
+					w.log.Warn("stall", "rank stalled at collective",
+						"rank", rank, "collective", v.seq)
 				case abortCall:
 					errs[rank] = fmt.Errorf("mpi: rank %d called Abort: %s", rank, v.reason)
+					w.log.Warn("abort", "rank called Abort",
+						"rank", rank, "reason", v.reason)
 				default:
 					errs[rank] = &RankError{Rank: rank, Val: p}
+					w.log.Error("rank_panic", "rank panicked",
+						"rank", rank, "value", fmt.Sprint(p))
 					// Unblock peers waiting in runtime primitives.
 					w.deadOnce.Do(func() { close(w.dead) })
 				}
@@ -453,6 +466,8 @@ func (w *world) watchdog(limit time.Duration, stop chan struct{}) {
 		w.dump = w.snapshot()
 		w.dumpMu.Unlock()
 		w.watchdogFired.Store(true)
+		w.log.Error("watchdog", "deadlock watchdog fired — aborting communicator",
+			"ranks", w.size, "limit", limit.String())
 		w.deadOnce.Do(func() { close(w.dead) })
 		return
 	}

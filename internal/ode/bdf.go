@@ -510,6 +510,8 @@ func (s *BDF) factor(hb float64) error {
 				s.sparse = false
 				s.stats.SparseDemotions++
 				s.haveFactor = false
+				s.opts.Log.Warn("degrade", "sparse LU demoted to dense",
+					"consecutive_failures", s.sparseFails)
 			}
 			return err
 		}

@@ -20,6 +20,7 @@ import (
 
 	"rms/internal/budget"
 	"rms/internal/linalg"
+	"rms/internal/telemetry"
 )
 
 // Func evaluates dy = f(t, y). dy is preallocated by the solver.
@@ -78,6 +79,10 @@ type Options struct {
 	// (wrapping budget.ErrExhausted), leaving y at the last accepted
 	// state. A nil budget costs nothing.
 	Budget *budget.Budget
+	// Log, when non-nil, records rare solver events — currently the
+	// sparse→dense degradation — in the flight recorder. Per-step hot
+	// paths never log; StepObserver is the per-step channel.
+	Log *telemetry.Logger
 }
 
 // StepEvent is one adaptive step attempt's telemetry record.

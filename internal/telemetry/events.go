@@ -1,0 +1,298 @@
+// The flight recorder: a bounded, lock-free ring buffer of structured
+// events. It is the narrative complement to the metrics registry — where
+// a counter says "degrade.sched_static incremented", the recorder keeps
+// the ordered timeline of *what happened when*: span-level milestones,
+// degradation-ladder transitions, fault injections, retry/penalty
+// decisions, watchdog firings and checkpoint writes. The ring holds the
+// last N events; a post-mortem dump (watchdog abort, budget exhaustion,
+// SIGQUIT) therefore always has the recent history without the process
+// ever paying for unbounded log storage.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Level grades event severity.
+type Level int8
+
+// The severity levels, in ascending order.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the conventional lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// MarshalJSON renders the level as its name.
+func (l Level) MarshalJSON() ([]byte, error) {
+	return json.Marshal(l.String())
+}
+
+// UnmarshalJSON parses a level name, so dumped events round-trip.
+func (l *Level) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	lv, err := ParseLevel(s)
+	if err != nil {
+		return err
+	}
+	*l = lv
+	return nil
+}
+
+// ParseLevel maps a level name to its Level (case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q", s)
+}
+
+// Field is one key-value pair of an event. Values are stringified at
+// emit time, so a recorded event is immutable and self-contained —
+// dumping it later cannot race with the value's owner.
+type Field struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Event is one flight-recorder entry.
+type Event struct {
+	// Seq is the global 1-based sequence number, assigned by Append.
+	// It totally orders events across all goroutines.
+	Seq uint64 `json:"seq"`
+	// TimeNs is the telemetry clock (Now) at emit time.
+	TimeNs int64 `json:"t_ns"`
+	Level  Level `json:"level"`
+	// Scope names the emitting component ("estimator", "mpi", ...).
+	Scope string `json:"scope"`
+	// Kind is a stable machine-readable event type within the scope
+	// ("retry", "watchdog", "degrade", ...).
+	Kind string `json:"kind"`
+	// Msg is the human-readable line.
+	Msg    string  `json:"msg"`
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// appendText renders the event without its timestamp — the deterministic
+// projection shared by WriteText and golden post-mortem comparisons.
+func (e Event) appendText(b *strings.Builder) {
+	fmt.Fprintf(b, "%-5s %s", e.Level, e.Scope)
+	if e.Kind != "" {
+		b.WriteByte('.')
+		b.WriteString(e.Kind)
+	}
+	b.WriteString(": ")
+	b.WriteString(e.Msg)
+	for _, f := range e.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(f.Value)
+	}
+}
+
+// Text returns the event's timestamp-free rendering: level, scope.kind,
+// message and fields. Deterministic for a deterministic event stream,
+// which makes it the currency of golden post-mortem tests.
+func (e Event) Text() string {
+	var b strings.Builder
+	e.appendText(&b)
+	return b.String()
+}
+
+// Recorder is the lock-free ring buffer. Writers append concurrently
+// from every rank, lane and solver goroutine; readers snapshot at any
+// time, including mid-write. Each slot is an atomic pointer to an
+// immutable Event, so a snapshot sees each event either fully or not at
+// all — there are no torn reads and no locks on the write path (one
+// small allocation per event; events are rare next to solver work, see
+// the recorder-overhead column of rmsbench -faults).
+//
+// A nil Recorder accepts its full method set as a no-op, in the idiom of
+// the rest of this package.
+type Recorder struct {
+	slots []atomic.Pointer[Event]
+	mask  uint64
+	seq   atomic.Uint64 // total events ever appended
+
+	// auto is the post-mortem trigger: once armed, the first Error-level
+	// append dumps the ring to the sink (exactly once — a cascade of
+	// errors after an abort must not spam N copies of the same history).
+	auto struct {
+		mu    sync.Mutex
+		w     io.Writer
+		fired bool
+	}
+}
+
+// DefaultRecorderSize is the ring capacity NewRecorder(0) provides.
+const DefaultRecorderSize = 4096
+
+// NewRecorder returns a recorder keeping the last n events (rounded up
+// to a power of two; n <= 0 means DefaultRecorderSize).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRecorderSize
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Event], size), mask: uint64(size - 1)}
+}
+
+// Append records one event, assigning its sequence number and (when
+// unset) its timestamp, and returns the assigned sequence number.
+// Lock-free; safe from any goroutine. No-op on a nil recorder (returns
+// 0).
+func (r *Recorder) Append(ev Event) uint64 {
+	if r == nil {
+		return 0
+	}
+	ev.Seq = r.seq.Add(1)
+	if ev.TimeNs == 0 {
+		ev.TimeNs = Now()
+	}
+	r.slots[(ev.Seq-1)&r.mask].Store(&ev)
+	if ev.Level >= LevelError {
+		r.autoDump(ev)
+	}
+	return ev.Seq
+}
+
+// Total returns how many events were ever appended (0 for nil). Events
+// beyond the ring capacity have been overwritten; Total - len(Events())
+// of them were dropped.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Cap returns the ring capacity (0 for nil).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Events returns the retained events in ascending sequence order. The
+// snapshot is consistent per event (immutable entries) and approximately
+// current as a set: writers racing with the scan may have replaced a
+// slot already visited, so an instantaneous global cut is not guaranteed
+// — the returned slice is always *some* valid recent history. A nil
+// recorder returns nil.
+func (r *Recorder) Events() []Event {
+	return r.Since(0)
+}
+
+// Since returns the retained events with Seq > after, ascending. It is
+// the polling primitive behind the /progress stream: remember the last
+// sequence number seen and ask for what came after it.
+func (r *Recorder) Since(after uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil && p.Seq > after {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteText dumps the retained events as one line each, oldest first,
+// with relative timestamps (seconds since the telemetry epoch). The
+// header reports the drop count, so a reader knows when the story's
+// beginning scrolled off the ring.
+func (r *Recorder) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	evs := r.Events()
+	total := r.Total()
+	dropped := total - uint64(len(evs))
+	fmt.Fprintf(w, "== flight recorder: %d events retained, %d total, %d dropped\n",
+		len(evs), total, dropped)
+	var b strings.Builder
+	for _, ev := range evs {
+		b.Reset()
+		fmt.Fprintf(&b, "[%12.6fs] #%-6d ", float64(ev.TimeNs)/1e9, ev.Seq)
+		ev.appendText(&b)
+		b.WriteByte('\n')
+		io.WriteString(w, b.String())
+	}
+}
+
+// WriteJSON dumps the retained events as a JSON array, oldest first.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.Events())
+}
+
+// ArmAutoDump arranges for the first Error-level event to dump the ring
+// to w — the single mechanism behind the post-mortem dumps on watchdog
+// abort, budget exhaustion and rank failure (all of which log at error
+// level). The dump fires at most once per recorder; later errors are
+// still recorded, just not re-dumped. No-op on a nil recorder.
+func (r *Recorder) ArmAutoDump(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.auto.mu.Lock()
+	r.auto.w = w
+	r.auto.fired = false
+	r.auto.mu.Unlock()
+}
+
+// autoDump runs the armed post-mortem dump, once.
+func (r *Recorder) autoDump(trigger Event) {
+	r.auto.mu.Lock()
+	defer r.auto.mu.Unlock()
+	if r.auto.w == nil || r.auto.fired {
+		return
+	}
+	r.auto.fired = true
+	fmt.Fprintf(r.auto.w, "flight recorder: post-mortem dump (trigger: %s)\n", trigger.Text())
+	r.WriteText(r.auto.w)
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderAppendAndSince(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		seq := r.Append(Event{Level: LevelInfo, Scope: "t", Kind: "k",
+			Msg: fmt.Sprintf("event %d", i)})
+		if seq != uint64(i+1) {
+			t.Fatalf("Append returned seq %d, want %d", seq, i+1)
+		}
+	}
+	if got := r.Total(); got != 5 {
+		t.Fatalf("Total = %d, want 5", got)
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("retained %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want ascending from 1", i, ev.Seq)
+		}
+		if ev.TimeNs == 0 {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+	since := r.Since(3)
+	if len(since) != 2 || since[0].Seq != 4 || since[1].Seq != 5 {
+		t.Fatalf("Since(3) = %v, want seqs 4,5", since)
+	}
+}
+
+func TestRecorderWraparound(t *testing.T) {
+	r := NewRecorder(4) // capacity rounds to exactly 4
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	for i := 1; i <= 11; i++ {
+		r.Append(Event{Level: LevelInfo, Scope: "t", Msg: fmt.Sprintf("e%d", i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events after wrap, want 4", len(evs))
+	}
+	// The ring keeps exactly the last Cap events, in order.
+	for i, ev := range evs {
+		want := uint64(8 + i)
+		if ev.Seq != want {
+			t.Fatalf("post-wrap event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "4 events retained, 11 total, 7 dropped") {
+		t.Fatalf("WriteText header wrong:\n%s", buf.String())
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	if seq := r.Append(Event{Msg: "x"}); seq != 0 {
+		t.Fatalf("nil Append returned %d", seq)
+	}
+	if r.Total() != 0 || r.Cap() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder accessors not zero")
+	}
+	r.ArmAutoDump(&bytes.Buffer{})
+	r.WriteText(&bytes.Buffer{})
+	if err := r.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecorderConcurrent hammers the ring from many writers while dumps
+// run concurrently — the -race guarantee that snapshots never tear.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Append(Event{Level: LevelInfo, Scope: "w", Kind: "k",
+					Msg: "m", Fields: []Field{{Key: "writer", Value: fmt.Sprint(w)}}})
+			}
+		}(w)
+	}
+	// Dump-during-write: snapshots and text dumps race the appends.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			evs := r.Events()
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq <= evs[j-1].Seq {
+					t.Errorf("snapshot out of order: %d then %d", evs[j-1].Seq, evs[j].Seq)
+					return
+				}
+			}
+			r.WriteText(&bytes.Buffer{})
+		}
+	}()
+	wg.Wait()
+	if got := r.Total(); got != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", got, writers*perWriter)
+	}
+	if len(r.Events()) != 64 {
+		t.Fatalf("retained %d, want full ring of 64", len(r.Events()))
+	}
+}
+
+func TestRecorderAutoDumpOnce(t *testing.T) {
+	r := NewRecorder(16)
+	var buf bytes.Buffer
+	r.ArmAutoDump(&buf)
+	r.Append(Event{Level: LevelInfo, Scope: "t", Msg: "fine"})
+	if buf.Len() != 0 {
+		t.Fatal("info-level event fired the post-mortem dump")
+	}
+	r.Append(Event{Level: LevelError, Scope: "t", Kind: "boom", Msg: "first error"})
+	first := buf.String()
+	if !strings.Contains(first, "post-mortem dump (trigger: error t.boom: first error)") {
+		t.Fatalf("dump missing trigger line:\n%s", first)
+	}
+	if !strings.Contains(first, "fine") {
+		t.Fatalf("dump missing prior history:\n%s", first)
+	}
+	r.Append(Event{Level: LevelError, Scope: "t", Msg: "second error"})
+	if buf.String() != first {
+		t.Fatal("second error re-fired the post-mortem dump")
+	}
+}
+
+func TestLoggerScopesLevelsFields(t *testing.T) {
+	r := NewRecorder(16)
+	log := NewLogger(r).Scope("est")
+	log.Warn("degrade", "demoted", "rung", "pool", "call", 3, "rel", 0.25)
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(evs))
+	}
+	got := evs[0].Text()
+	want := "warn  est.degrade: demoted rung=pool call=3 rel=0.25"
+	if got != want {
+		t.Fatalf("Text = %q, want %q", got, want)
+	}
+	// Odd trailing key must not panic and must be marked.
+	log.Info("odd", "msg", "solo")
+	evs = r.Events()
+	if f := evs[1].Fields[0]; f.Key != "solo" || f.Value != "!MISSING" {
+		t.Fatalf("odd kv handled as %+v", f)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var log *Logger
+	log.Debug("k", "m")
+	log.Info("k", "m")
+	log.Warn("k", "m")
+	log.Error("k", "m")
+	if log.Scope("x") != nil || log.WithSink(&bytes.Buffer{}, LevelInfo, false) != nil {
+		t.Fatal("derived nil loggers not nil")
+	}
+	if log.Recorder() != nil {
+		t.Fatal("nil logger has a recorder")
+	}
+}
+
+func TestLoggerSinkLevelsAndJSON(t *testing.T) {
+	r := NewRecorder(16)
+	var text, jsonBuf bytes.Buffer
+	tl := NewLogger(r).WithSink(&text, LevelWarn, false).Scope("c")
+	tl.Info("k", "below threshold")
+	tl.Warn("k", "at threshold")
+	if strings.Contains(text.String(), "below threshold") {
+		t.Fatal("sink leaked an event below its level")
+	}
+	if !strings.Contains(text.String(), "warn  c.k: at threshold") {
+		t.Fatalf("sink missing warn line:\n%s", text.String())
+	}
+	// The recorder got both regardless of the sink threshold.
+	if len(r.Events()) != 2 {
+		t.Fatalf("recorder has %d events, want 2", len(r.Events()))
+	}
+
+	jl := NewLogger(nil).WithSink(&jsonBuf, LevelDebug, true).Scope("j")
+	jl.Info("kind", "hello", "n", 7)
+	var ev Event
+	if err := json.Unmarshal(jsonBuf.Bytes(), &ev); err != nil {
+		t.Fatalf("sink line is not JSON: %v\n%s", err, jsonBuf.String())
+	}
+	if ev.Scope != "j" || ev.Kind != "kind" || ev.Msg != "hello" ||
+		len(ev.Fields) != 1 || ev.Fields[0].Value != "7" {
+		t.Fatalf("JSON event round-trip mismatch: %+v", ev)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn, "Error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+// TestLevelJSON pins the wire form of levels (the /progress consumers
+// parse these).
+func TestLevelJSON(t *testing.T) {
+	b, err := json.Marshal(LevelWarn)
+	if err != nil || string(b) != `"warn"` {
+		t.Fatalf("LevelWarn marshals to %s (%v)", b, err)
+	}
+}

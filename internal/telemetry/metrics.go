@@ -183,13 +183,25 @@ const (
 	KindHistogram MetricKind = "histogram"
 )
 
+// Bucket is one histogram bucket in a snapshot: the cumulative count of
+// observations ≤ LE. Only finite bounds appear here (encoding/json
+// cannot represent +Inf); the implicit overflow bucket's cumulative
+// count is the snapshot's Count, so OpenMetrics exposition derives the
+// +Inf bucket from it.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
 // MetricValue is one registry entry at snapshot time.
 type MetricValue struct {
 	Name string     `json:"name"`
 	Kind MetricKind `json:"kind"`
 	// Value is the counter total, the gauge value, or the histogram sum.
 	Value float64 `json:"value"`
-	// Count is the histogram observation count (0 otherwise).
+	// Count is the histogram observation count (0 otherwise). For
+	// histograms it equals the last cumulative bucket count including
+	// overflow, so buckets and count agree within one snapshot.
 	Count int64 `json:"count,omitempty"`
 	// Invalid is the histogram's rejected non-finite sample count
 	// (0 otherwise).
@@ -197,6 +209,9 @@ type MetricValue struct {
 	// Mean and P90 summarize histograms (0 otherwise).
 	Mean float64 `json:"mean,omitempty"`
 	P90  float64 `json:"p90,omitempty"`
+	// Buckets holds the histogram's cumulative finite buckets
+	// (nil otherwise).
+	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 // Registry names and owns metrics. Lookup is mutex-guarded and intended
@@ -370,37 +385,89 @@ func sameBounds(a, b []float64) bool {
 	return true
 }
 
+// snapshotValue reads the histogram once into a MetricValue: one load
+// per bucket counter in a single pass, with Count, Mean and P90 all
+// derived from those same reads — so the buckets, the count and the
+// quantile of one snapshot entry agree with each other by construction.
+func (h *Histogram) snapshotValue(name string) MetricValue {
+	mv := MetricValue{Name: name, Kind: KindHistogram}
+	var cum int64
+	buckets := make([]Bucket, len(h.bounds))
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		buckets[i] = Bucket{LE: h.bounds[i], Count: cum}
+	}
+	cum += h.counts[len(h.bounds)].Load() // overflow (+Inf) bucket
+	mv.Buckets = buckets
+	mv.Count = cum
+	mv.Invalid = h.invalid.Load()
+	mv.Value = h.sum.Value()
+	if cum > 0 {
+		mv.Mean = mv.Value / float64(cum)
+		target := int64(math.Ceil(0.9 * float64(cum)))
+		if target < 1 {
+			target = 1
+		}
+		mv.P90 = math.Inf(1)
+		for _, b := range buckets {
+			if b.Count >= target {
+				mv.P90 = b.LE
+				break
+			}
+		}
+	}
+	return mv
+}
+
 // Snapshot returns every metric's current value, sorted by name. Safe to
-// call concurrently with updates (values are read atomically). A nil
-// registry snapshots empty.
+// call concurrently with updates. A nil registry snapshots empty.
+//
+// Consistency model: the metric set (names, kinds, pointers) is captured
+// under one mutex hold, then every value is read through its atomic in a
+// single pass — so a snapshot is a coherent view of which metrics exist,
+// and each entry is internally consistent (a histogram's buckets, count,
+// mean and p90 come from one read pass over its counters). Values of
+// *different* metrics may still be skewed by updates racing the pass
+// (counter A read before, counter B after, a concurrent increment of
+// both), and a histogram observed mid-Observe can show a bucket
+// increment whose sum contribution lands after the pass. No metric ever
+// goes backwards between snapshots, and no locks are held while values
+// are read, so scrapes never stall writers.
 func (r *Registry) Snapshot() []MetricValue {
 	if r == nil {
 		return nil
 	}
+	// Single coherent capture of the metric set...
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
+	type entry struct {
+		kind MetricKind
+		c    *Counter
+		fc   *FloatCounter
+		g    *Gauge
+		h    *Histogram
+	}
+	entries := make(map[string]entry, len(names))
+	for _, name := range names {
+		entries[name] = entry{kind: r.kinds[name], c: r.ctrs[name],
+			fc: r.floats[name], g: r.gauges[name], h: r.hists[name]}
+	}
 	r.mu.Unlock()
+	// ...then one lock-free pass over the values.
 	sort.Strings(names)
 	out := make([]MetricValue, 0, len(names))
 	for _, name := range names {
-		r.mu.Lock()
-		kind := r.kinds[name]
-		c, fc, g, h := r.ctrs[name], r.floats[name], r.gauges[name], r.hists[name]
-		r.mu.Unlock()
-		mv := MetricValue{Name: name, Kind: kind}
+		e := entries[name]
+		mv := MetricValue{Name: name, Kind: e.kind}
 		switch {
-		case c != nil:
-			mv.Value = float64(c.Value())
-		case fc != nil:
-			mv.Value = fc.Value()
-		case g != nil:
-			mv.Value = g.Value()
-		case h != nil:
-			mv.Value = h.Sum()
-			mv.Count = h.Count()
-			mv.Invalid = h.Invalid()
-			mv.Mean = h.Mean()
-			mv.P90 = h.Quantile(0.9)
+		case e.c != nil:
+			mv.Value = float64(e.c.Value())
+		case e.fc != nil:
+			mv.Value = e.fc.Value()
+		case e.g != nil:
+			mv.Value = e.g.Value()
+		case e.h != nil:
+			mv = e.h.snapshotValue(name)
 		}
 		out = append(out, mv)
 	}

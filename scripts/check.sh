@@ -13,10 +13,13 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (mpi, parallel, estimator, sched, ode, linalg, telemetry, codegen)"
+echo "== go test -race (mpi, parallel, estimator, sched, ode, linalg, telemetry, introspect, codegen)"
 go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/... \
 	./internal/sched/... ./internal/ode/... ./internal/linalg/... \
-	./internal/telemetry/... ./internal/codegen/...
+	./internal/telemetry/... ./internal/introspect/... ./internal/codegen/...
+
+echo "== introspection endpoints smoke (rmssim -listen)"
+./scripts/introspect_smoke.sh
 
 echo "== fault-injection suite (-race)"
 go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stall|Crash|Abort' \

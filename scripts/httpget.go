@@ -1,0 +1,36 @@
+//go:build ignore
+
+// httpget is the curl/wget fallback for introspect_smoke.sh: fetch one
+// URL and print the body. Run it directly (go run scripts/httpget.go
+// URL); the ignore tag keeps it out of the module build.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: httpget URL")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintln(os.Stderr, "httpget:", resp.Status)
+		os.Exit(1)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+}

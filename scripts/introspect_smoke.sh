@@ -1,0 +1,116 @@
+#!/bin/sh
+# Introspection smoke test: start rmssim with -listen :0 on a long
+# integration, scrape the live debug endpoints while it runs, and assert
+# the responses are well-formed — the CI guard that the HTTP layer stays
+# wired end to end (docs/observability.md has the endpoint reference).
+#
+# Checks:
+#   /healthz      answers "ok"
+#   /metrics      OpenMetrics exposition: expected families, # EOF
+#   /debug/vars   checkpoint-enveloped JSON with the vars kind tag
+#   /debug/events flight-recorder dump is served
+#
+# Requires only the go toolchain and a POSIX shell (curl or wget,
+# whichever is present; falls back to a tiny go fetcher otherwise).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/introspect_smoke.XXXXXX")
+trap 'status=$?; [ -n "${simpid:-}" ] && kill "$simpid" 2>/dev/null || true; rm -rf "$work"; exit $status' EXIT INT TERM
+
+# A minimal one-reaction model: first-order decomposition of ethane.
+# The integration horizon is sized so the process stays alive for the
+# scrape (millions of output rows of a trivial ODE, a few seconds).
+cat >"$work/m.rdl" <<'EOF'
+species A = "[CH3:1][CH3:2]" init 1.0
+reaction Decompose {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_d
+}
+EOF
+echo "K_d = 2" >"$work/r.rcip"
+
+echo "== go build ./cmd/rmssim"
+go build -o "$work/rmssim" ./cmd/rmssim
+
+echo "== rmssim -listen 127.0.0.1:0 (background)"
+"$work/rmssim" -listen 127.0.0.1:0 -log warn \
+	-rcip "$work/r.rcip" -tend 5000 -points 5000000 \
+	"$work/m.rdl" >/dev/null 2>"$work/stderr" &
+simpid=$!
+
+# Wait for the bound address to appear on stderr.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's#^rmssim: introspection on http://##p' "$work/stderr" | head -n1)
+	[ -n "$addr" ] && break
+	if ! kill -0 "$simpid" 2>/dev/null; then
+		echo "FAIL: rmssim exited before serving:" >&2
+		cat "$work/stderr" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "FAIL: no introspection address after 10s:" >&2
+	cat "$work/stderr" >&2
+	exit 1
+fi
+echo "   serving on $addr"
+
+fetch() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS --max-time 10 "http://$addr$1"
+	elif command -v wget >/dev/null 2>&1; then
+		wget -q -T 10 -O - "http://$addr$1"
+	else
+		go run ./scripts/httpget.go "http://$addr$1"
+	fi
+}
+
+echo "== GET /healthz"
+health=$(fetch /healthz)
+[ "$health" = "ok" ] || { echo "FAIL: /healthz = '$health'" >&2; exit 1; }
+
+echo "== GET /metrics"
+fetch /metrics >"$work/metrics"
+for family in "rms_ode_steps counter" "rms_tape_evals counter" "rms_ode_step_size histogram"; do
+	grep -q "^# TYPE $family$" "$work/metrics" || {
+		echo "FAIL: /metrics missing family '$family':" >&2
+		cat "$work/metrics" >&2
+		exit 1
+	}
+done
+tail -n1 "$work/metrics" | grep -q '^# EOF$' || {
+	echo "FAIL: /metrics missing # EOF terminator" >&2
+	exit 1
+}
+echo "   $(grep -c '^# TYPE ' "$work/metrics") metric families, # EOF present"
+
+echo "== GET /debug/vars"
+fetch /debug/vars >"$work/vars"
+grep -q '"kind": *"rms-introspect-vars"' "$work/vars" || {
+	echo "FAIL: /debug/vars is not a rms-introspect-vars envelope:" >&2
+	cat "$work/vars" >&2
+	exit 1
+}
+grep -q '"program": *"rmssim"' "$work/vars" || {
+	echo "FAIL: /debug/vars payload missing program name" >&2
+	exit 1
+}
+
+echo "== GET /debug/events"
+fetch /debug/events >"$work/events"
+head -n1 "$work/events" | grep -q '^== flight recorder:' || {
+	echo "FAIL: /debug/events did not serve the flight-recorder dump" >&2
+	exit 1
+}
+
+kill "$simpid" 2>/dev/null || true
+wait "$simpid" 2>/dev/null || true
+simpid=""
+echo "introspect smoke: OK"
