@@ -1,7 +1,7 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
 .PHONY: build test check race fuzz bench faults verify chaos \
-	bench-compare bench-baseline introspect-smoke
+	bench-compare bench-baseline introspect-smoke service-smoke
 
 build:
 	go build ./...
@@ -65,3 +65,9 @@ bench-baseline:
 # /debug/vars and /debug/events while the integration runs.
 introspect-smoke:
 	./scripts/introspect_smoke.sh
+
+# Service smoke (docs/service.md): start rmsd on port 0, drive it with
+# rmsctl over HTTP, and hold the served simulate/fit results to the
+# standalone rmssim/rmsrun outputs byte for byte.
+service-smoke:
+	./scripts/service_smoke.sh

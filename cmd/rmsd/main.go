@@ -1,0 +1,146 @@
+// Command rmsd is the Reaction Modeling Suite daemon: compile once,
+// serve millions. It exposes the pipeline as a JSON HTTP API over a
+// content-addressed compiled-model cache — identical RDL source and
+// optimization flags compile exactly once, then any number of simulate
+// and fit requests reuse the cached tape, sparsity pattern and symbolic
+// LU factorization.
+//
+// Usage:
+//
+//	rmsd -listen 127.0.0.1:8631
+//
+//	POST /v1/models          compile a model spec (cache-addressed)
+//	GET  /v1/models/{id}     cached model summary
+//	POST /v1/simulate        integrate a trajectory
+//	POST /v1/fit             fit rate constants to data
+//	POST /v1/verify          cross-check cached vs fresh compilation
+//	GET  /v1/jobs/{id}       poll a job (?wait=1 blocks)
+//	GET  /v1/jobs/{id}/events  ndjson progress stream
+//
+// All POST endpoints queue a job and return 202 with its id; append
+// ?wait=1 to block for the result. A full queue answers 429 with
+// Retry-After; a draining server 503. The introspection endpoints
+// (/healthz, /metrics, /debug/vars, /debug/events, /progress) are
+// mounted on the same listener. See docs/service.md.
+//
+// Flags:
+//
+//	-listen addr   bind address (default 127.0.0.1:0 — a free port,
+//	               printed on stderr as "rmsd: serving on http://ADDR")
+//	-queue N       admission queue capacity (default 16)
+//	-workers N     concurrent job executors (default 2)
+//	-drain d       graceful-shutdown drain deadline (default 5s)
+//	-ckptdir dir   write per-job fit checkpoints here (resumable)
+//	-trace/-metrics/-pprof/-cpuprofile/-log/-logjson as in rmsrun
+//
+// SIGINT/SIGTERM drain gracefully: no new jobs are admitted, in-flight
+// jobs get -drain to finish, then their budgets are cancelled — fits
+// stop at an iteration boundary with their checkpoint intact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rms/internal/budget"
+	"rms/internal/checkpoint"
+	"rms/internal/service"
+	"rms/internal/telemetry"
+)
+
+// daemonOpts bundles the rmsd configuration; the injectable interrupt
+// channel and ready callback are the test hooks.
+type daemonOpts struct {
+	listen        string
+	queueCap      int
+	workers       int
+	drain         time.Duration
+	checkpointDir string
+	obs           telemetry.CLI
+	// interrupt delivers shutdown signals (or, in tests, a synthetic
+	// one).
+	interrupt <-chan os.Signal
+	// ready, when non-nil, receives the bound address once the server
+	// is listening.
+	ready chan<- string
+}
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "bind address (port 0 picks a free port)")
+		queue   = flag.Int("queue", 16, "admission queue capacity")
+		workers = flag.Int("workers", 2, "concurrent job executors")
+		drain   = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+		ckptDir = flag.String("ckptdir", "", "write per-job fit checkpoints into this directory")
+		trace   = flag.String("trace", "", "write a Chrome trace-event file on exit")
+		metrics = flag.Bool("metrics", false, "print the telemetry registry on exit")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		logLvl  = flag.String("log", "", "echo structured events at or above this level (debug|info|warn|error) to stderr")
+		logJSON = flag.Bool("logjson", false, "emit log lines as JSON instead of text")
+	)
+	flag.Parse()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	o := daemonOpts{
+		listen: *listen, queueCap: *queue, workers: *workers,
+		drain: *drain, checkpointDir: *ckptDir,
+		obs: telemetry.CLI{TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof,
+			CPUProfile: *cpuProf, Out: os.Stderr,
+			// Listen arms the live registry; the service mounts the
+			// introspection endpoints on its own mux.
+			Listen: *listen, LogLevel: *logLvl, LogJSON: *logJSON},
+		interrupt: sig,
+	}
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "rmsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o daemonOpts) error {
+	ins, finish, err := o.obs.Setup()
+	if err != nil {
+		return err
+	}
+	checkpoint.SetLogger(ins.Log.Scope("checkpoint"))
+	bud := budget.New().WithLogger(ins.Log.Scope("budget"))
+	defer bud.Cancel("server exit")
+
+	if o.checkpointDir != "" {
+		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
+			return err
+		}
+	}
+	srv := service.New(service.Config{
+		Program:       "rmsd",
+		QueueCap:      o.queueCap,
+		Workers:       o.workers,
+		Drain:         o.drain,
+		CheckpointDir: o.checkpointDir,
+		Registry:      ins.Registry,
+		Tracer:        ins.Tracer,
+		Recorder:      ins.Recorder,
+		Log:           ins.Log,
+		Budget:        bud,
+	})
+	addr, err := srv.Start(o.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rmsd: serving on http://%s\n", addr)
+	if o.ready != nil {
+		o.ready <- addr
+	}
+
+	<-o.interrupt
+	fmt.Fprintf(os.Stderr, "rmsd: shutdown — draining for up to %s\n", o.drain)
+	if clean := srv.Shutdown(o.drain); !clean {
+		fmt.Fprintln(os.Stderr, "rmsd: drain deadline hit — unfinished jobs cancelled (fit checkpoints kept)")
+	}
+	return finish()
+}

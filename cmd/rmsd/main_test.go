@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rms/internal/service"
+)
+
+const daemonModel = `
+species A = "[CH3:1][CH3:2]" init 1.0
+reaction Decompose {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_d
+}
+`
+
+// startDaemon runs the daemon with test hooks and returns its base URL
+// plus a shutdown function that triggers the interrupt path and waits
+// for a clean exit.
+func startDaemon(t *testing.T, o daemonOpts) (base string, shutdown func()) {
+	t.Helper()
+	sig := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	o.interrupt = sig
+	o.ready = ready
+	errc := make(chan error, 1)
+	go func() { errc <- run(o) }()
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return base, func() {
+		sig <- os.Interrupt
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("daemon exited with error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
+func postWait(t *testing.T, base, path string, body any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path+"?wait=1", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.Bytes()
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	base, shutdown := startDaemon(t, daemonOpts{
+		listen: "127.0.0.1:0", queueCap: 4, workers: 1,
+		drain: 5 * time.Second, checkpointDir: filepath.Join(t.TempDir(), "ckpt"),
+	})
+
+	// Readiness: the introspection endpoints live on the same mux.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+
+	spec := service.ModelSpec{Kind: service.KindRDL, Source: daemonModel, RCIP: "K_d = 2"}
+	code, body := postWait(t, base, "/v1/models", spec)
+	if code != http.StatusOK {
+		t.Fatalf("compile = %d: %s", code, body)
+	}
+	var jv struct {
+		Status string          `json:"status"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(body, &jv); err != nil {
+		t.Fatal(err)
+	}
+	if jv.Status != "done" {
+		t.Fatalf("compile status = %s: %s", jv.Status, body)
+	}
+	var info service.ModelInfo
+	if err := json.Unmarshal(jv.Result, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Cached {
+		t.Fatalf("first compile: %+v", info)
+	}
+
+	// A simulate against the cached id round-trips through the queue.
+	code, body = postWait(t, base, "/v1/simulate", service.SimulateRequest{
+		Model: info.ID, TEnd: 1, Points: 5,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &jv); err != nil || jv.Status != "done" {
+		t.Fatalf("simulate status: %s (err %v)", body, err)
+	}
+	var sim service.SimulateResult
+	if err := json.Unmarshal(jv.Result, &sim); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Rows) != 5 {
+		t.Fatalf("rows = %d", len(sim.Rows))
+	}
+
+	shutdown()
+
+	// The listener is down after shutdown.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("healthz still answering after shutdown")
+	}
+}
+
+func TestDaemonServesOnStderrAddr(t *testing.T) {
+	// The "serving on" line goes to stderr; the ready hook carries the
+	// same address. Sanity-check the address is dialable HTTP.
+	base, shutdown := startDaemon(t, daemonOpts{
+		listen: "127.0.0.1:0", queueCap: 2, workers: 1, drain: time.Second,
+	})
+	defer shutdown()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+}
+
+func TestDaemonDrainCancelsInFlight(t *testing.T) {
+	ckptDir := t.TempDir()
+	base, shutdown := startDaemon(t, daemonOpts{
+		listen: "127.0.0.1:0", queueCap: 4, workers: 1,
+		// A short drain: the long fit below cannot finish inside it, so
+		// shutdown must cancel its budget and still exit promptly.
+		drain: 200 * time.Millisecond, checkpointDir: ckptDir,
+	})
+
+	spec := service.ModelSpec{Kind: service.KindVulcan, Variants: 9}
+	code, body := postWait(t, base, "/v1/models", spec)
+	if code != http.StatusOK {
+		t.Fatalf("compile = %d: %s", code, body)
+	}
+	var jv struct {
+		Status string          `json:"status"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(body, &jv); err != nil {
+		t.Fatal(err)
+	}
+	if jv.Status != "done" {
+		t.Fatalf("compile %s: %s", jv.Status, jv.Error)
+	}
+	var info service.ModelInfo
+	if err := json.Unmarshal(jv.Result, &info); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue a fit without waiting, then shut down while it runs.
+	req := fitRequestForModel(info)
+	buf, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/fit", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fit submit = %d", resp.StatusCode)
+	}
+	time.Sleep(50 * time.Millisecond) // let the worker pick it up
+	start := time.Now()
+	shutdown()
+	if d := time.Since(start); d > 8*time.Second {
+		t.Fatalf("shutdown took %s; drain deadline not enforced", d)
+	}
+}
+
+// fitRequestForModel builds a deliberately slow synthetic fit: tiny
+// tolerances and many iterations against fabricated data.
+func fitRequestForModel(info service.ModelInfo) service.FitRequest {
+	n := len(info.Rates)
+	start := make([]float64, n)
+	lower := make([]float64, n)
+	upper := make([]float64, n)
+	for i := range start {
+		start[i], lower[i], upper[i] = 1, 0.1, 10
+	}
+	var files []service.DataFile
+	for f := 0; f < 4; f++ {
+		df := service.DataFile{Name: fmt.Sprintf("synth%d", f)}
+		for i := 0; i < 40; i++ {
+			df.T = append(df.T, 0.01*float64(i+1))
+			df.V = append(df.V, 0.1*float64(i))
+		}
+		files = append(files, df)
+	}
+	return service.FitRequest{
+		Model: info.ID, Data: files, Property: "sum",
+		RTol: 1e-10, ATol: 1e-13, MaxIter: 500, Tol: 1e-14, RelStep: 1e-4,
+		Start: start, Lower: lower, Upper: upper,
+	}
+}

@@ -41,45 +41,15 @@ import (
 
 	"rms/internal/budget"
 	"rms/internal/checkpoint"
-	"rms/internal/core"
 	"rms/internal/dataset"
 	"rms/internal/estimator"
 	"rms/internal/introspect"
 	"rms/internal/nlopt"
-	"rms/internal/ode"
-	"rms/internal/opt"
+	"rms/internal/service"
 	"rms/internal/stats"
 	"rms/internal/telemetry"
 	"rms/internal/vulcan"
 )
-
-// observeLM publishes per-iteration optimizer telemetry into reg (no-op
-// wiring when reg is nil: nil metrics absorb the writes) and mirrors
-// each iteration into the flight recorder, which is what /progress
-// streams — one "lm.iter" event per LM iteration.
-func observeLM(reg *telemetry.Registry, log *telemetry.Logger) func(nlopt.IterEvent) {
-	iters := reg.Counter("lm.iterations")
-	trials := reg.Counter("lm.trials")
-	nonFinite := reg.Counter("lm.nonfinite_trials")
-	accepted := reg.Counter("lm.accepted_iters")
-	lambda := reg.Gauge("lm.lambda")
-	rnorm := reg.Gauge("lm.rnorm")
-	freeVars := reg.Gauge("lm.free_vars")
-	return func(ev nlopt.IterEvent) {
-		iters.Inc()
-		trials.Add(int64(ev.Trials))
-		nonFinite.Add(int64(ev.NonFiniteTrials))
-		if ev.Improved {
-			accepted.Inc()
-		}
-		lambda.Set(ev.Lambda)
-		rnorm.Set(ev.RNorm)
-		freeVars.Set(float64(ev.FreeVars))
-		log.Info("iter", "LM iteration",
-			"iter", ev.Iter, "rnorm", ev.RNorm, "lambda", ev.Lambda,
-			"improved", fmt.Sprint(ev.Improved), "trials", ev.Trials)
-	}
-}
 
 // runOpts bundles the fit configuration; the checkpoint/resume/deadline
 // fields and the injectable interrupt channel are the robustness layer.
@@ -200,32 +170,20 @@ func run(o runOpts) error {
 	fmt.Printf("loaded %d data files (%d..%d records)\n",
 		len(files), files[0].NumRecords(), files[len(files)-1].NumRecords())
 
+	// The shared engine is the single compile + fit code path: the rmsd
+	// server runs exactly this with a long-lived cache; here the cache
+	// spans one fit.
+	eng := service.NewEngine(reg, ins.Log)
 	mainLane.Begin("compile")
-	net, err := vulcan.Network(variants)
-	if err != nil {
-		mainLane.End()
-		return err
-	}
-	res, err := core.CompileNetwork(net, core.Config{
-		Optimize:         opt.Full(),
-		AnalyticJacobian: true,
-		Trace:            mainLane,
-	})
+	cm, _, err := eng.Compile(service.ModelSpec{
+		Kind: service.KindVulcan, Variants: variants,
+	}, mainLane)
 	mainLane.End()
 	if err != nil {
 		return err
 	}
+	res := cm.Res
 	fmt.Println(res.Report())
-
-	model := res.Model(vulcan.CrosslinkProperty(res.System),
-		ode.Options{RTol: 1e-9, ATol: 1e-12})
-	est, err := estimator.New(model, files, estimator.Config{
-		Ranks: ranks, LoadBalance: lb, Trace: tracer, Metrics: reg,
-		Budget: bud, Log: ins.Log,
-	})
-	if err != nil {
-		return err
-	}
 
 	// Bounds: the first `free` constants (sorted order) float within a
 	// decade of truth; the rest stay pinned, mirroring a chemist fixing
@@ -243,10 +201,19 @@ func run(o runOpts) error {
 			lower[i], upper[i], start[i] = truth, truth, truth
 		}
 	}
-	lmOpts := nlopt.Options{MaxIter: maxIter, RelStep: 1e-4, KeepJacobian: true}
-	lmOpts.Observer = observeLM(reg, log)
+	req := service.FitRequest{
+		Data:     service.FromDataset(files),
+		Property: "crosslink", RTol: 1e-9, ATol: 1e-12,
+		Ranks: ranks, LoadBalance: lb,
+		MaxIter: maxIter, RelStep: 1e-4,
+		Start: start, Lower: lower, Upper: upper,
+	}
+	fo := service.FitOpts{
+		Budget: bud, Tracer: tracer, Registry: reg, Log: ins.Log,
+		Observer: service.ObserveLM(reg, log),
+	}
 	if o.checkpointPath != "" {
-		lmOpts.Checkpoint = func(cs nlopt.CheckState) error {
+		fo.Checkpoint = func(cs nlopt.CheckState, est *estimator.Estimator) error {
 			return checkpoint.SaveRun(o.checkpointPath, checkpoint.RunState{
 				Opt: cs, Est: est.Snapshot(),
 			})
@@ -257,15 +224,12 @@ func run(o runOpts) error {
 		if err != nil {
 			return err
 		}
-		if err := est.Restore(st.Est); err != nil {
-			return err
-		}
-		lmOpts.Resume = &st.Opt
+		fo.Resume = &st
 		fmt.Printf("resumed from %s: iteration %d, %d objective calls done\n",
 			o.checkpointPath, st.Opt.Iter, st.Est.Calls)
 	}
 	mainLane.Begin("estimate")
-	fit, err := est.Estimate(start, lower, upper, lmOpts)
+	out, err := service.RunFit(cm, req, fo)
 	mainLane.End()
 	if err != nil {
 		if budget.Exhausted(err) {
@@ -277,6 +241,7 @@ func run(o runOpts) error {
 		}
 		return err
 	}
+	fit, est := out.Fit, out.Est
 	fmt.Printf("converged=%v iterations=%d rnorm=%.3g objective calls=%d\n",
 		fit.Converged, fit.Iterations, fit.RNorm, est.Calls())
 	fmt.Printf("wall %.2fs, modeled parallel %.2fs over %d ranks (lb=%v)\n",

@@ -33,7 +33,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,11 +40,8 @@ import (
 
 	"rms/internal/budget"
 	"rms/internal/checkpoint"
-	"rms/internal/core"
 	"rms/internal/introspect"
-	"rms/internal/linalg"
-	"rms/internal/ode"
-	"rms/internal/opt"
+	"rms/internal/service"
 	"rms/internal/telemetry"
 )
 
@@ -118,27 +114,6 @@ func main() {
 	}
 }
 
-// observeSolver publishes per-step solver telemetry into reg.
-func observeSolver(reg *telemetry.Registry) ode.StepObserver {
-	steps := reg.Counter("ode.steps")
-	rejected := reg.Counter("ode.rejected_steps")
-	newton := reg.Counter("ode.newton_iters")
-	factor := reg.Counter("ode.factorizations")
-	h := reg.Histogram("ode.step_size", []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100})
-	order := reg.Gauge("ode.order")
-	return func(ev ode.StepEvent) {
-		if ev.Accepted {
-			steps.Inc()
-		} else {
-			rejected.Inc()
-		}
-		newton.Add(int64(ev.NewtonIters))
-		factor.Add(int64(ev.Factorizations))
-		h.Observe(math.Abs(ev.H))
-		order.Set(float64(ev.Order))
-	}
-}
-
 func run(w io.Writer, o simOpts) error {
 	rcipPath, tEnd, points := o.rcipPath, o.tEnd, o.points
 	solverName, rtol, atol, args, obs := o.solver, o.rtol, o.atol, o.args, o.obs
@@ -202,60 +177,28 @@ func run(w io.Writer, o simOpts) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Optimize: opt.Full(), AnalyticJacobian: solverName == "adams-gear",
-		Trace: lane}
+	spec := service.ModelSpec{Kind: service.KindRDL, Source: string(src)}
 	if rcipPath != "" {
 		b, err := os.ReadFile(rcipPath)
 		if err != nil {
 			return err
 		}
-		cfg.RCIP = string(b)
+		spec.RCIP = string(b)
 	}
+	// The shared engine is the single compile + simulate code path: the
+	// rmsd server runs exactly this with a long-lived cache; here the
+	// cache spans one trajectory.
+	eng := service.NewEngine(reg, ins.Log)
 	lane.Begin("compile")
-	res, err := core.CompileRDL(string(src), cfg)
+	cm, _, err := eng.Compile(spec, lane)
 	lane.End()
 	if err != nil {
 		return err
 	}
-	// Every rate constant needs a value.
-	k := make([]float64, len(res.System.Rates))
-	for i, name := range res.System.Rates {
-		if res.Rates == nil {
-			return fmt.Errorf("no -rcip given: rate constant %s has no value", name)
-		}
-		v, ok := res.Rates.Values[name]
-		if !ok {
-			return fmt.Errorf("rate constant %s has no value in the RCIP input", name)
-		}
-		k[i] = v
-	}
 
-	ev := res.Tape.NewEvaluator()
-	ev.Observe(reg)
-	rhs := func(_ float64, y, dy []float64) { ev.Eval(y, k, dy) }
-	n := len(res.System.Y0)
-	opts := ode.Options{RTol: rtol, ATol: atol, Budget: bud, Log: ins.Log.Scope("ode")}
-	if reg != nil {
-		opts.Observer = observeSolver(reg)
+	req := service.SimulateRequest{
+		TEnd: tEnd, Points: points, Solver: solverName, RTol: rtol, ATol: atol,
 	}
-	var integrate func(t0, t1 float64, y []float64) error
-	switch solverName {
-	case "adams-gear":
-		if res.Jacobian != nil {
-			je := res.Jacobian.NewEvaluator()
-			opts.Jacobian = func(_ float64, y []float64, dst *linalg.Matrix) {
-				je.Eval(y, k, dst)
-			}
-		}
-		integrate = ode.NewBDF(rhs, n, opts).Integrate
-	case "runge-kutta":
-		integrate = ode.NewRKV65(rhs, n, opts).Integrate
-	default:
-		return fmt.Errorf("unknown solver %q", solverName)
-	}
-
-	y := append([]float64(nil), res.System.Y0...)
-	startRow := 1
 	if o.resume {
 		var st simState
 		if err := checkpoint.Load(o.checkpointPath, simKind, &st); err != nil {
@@ -265,46 +208,44 @@ func run(w io.Writer, o simOpts) error {
 			return fmt.Errorf("checkpoint was taken on a different grid (points=%d tend=%g solver=%s)",
 				st.Points, st.TEnd, st.Solver)
 		}
-		if len(st.Y) != n {
-			return fmt.Errorf("checkpoint has %d species, model has %d", len(st.Y), n)
+		if len(st.Y) != len(cm.Res.System.Y0) {
+			return fmt.Errorf("checkpoint has %d species, model has %d", len(st.Y), len(cm.Res.System.Y0))
 		}
-		copy(y, st.Y)
-		startRow = st.Row + 1
+		req.StartRow, req.Y = st.Row, st.Y
 		// Header and rows up to st.Row were already emitted by the
 		// interrupted run; the resumed output concatenates after them.
 	} else {
-		fmt.Fprintf(w, "t,%s\n", strings.Join(res.System.Species, ","))
-		writeRow(w, 0, y)
+		fmt.Fprintf(w, "t,%s\n", strings.Join(cm.Res.System.Species, ","))
 	}
 	lane.Begin("integrate")
 	log.Info("start", "integration started", "solver", solverName,
-		"points", points, "tend", tEnd, "from_row", startRow)
-	for i := startRow; i < points; i++ {
-		t0 := tEnd * float64(i-1) / float64(points-1)
-		t1 := tEnd * float64(i) / float64(points-1)
-		if err := integrate(t0, t1, y); err != nil {
-			lane.End()
-			if budget.Exhausted(err) {
-				fmt.Fprintf(os.Stderr, "rmssim: stopped at row %d/%d: %v\n", i-1, points-1, err)
-				if o.checkpointPath != "" {
-					fmt.Fprintf(os.Stderr, "rmssim: checkpoint at %s — continue with -resume\n", o.checkpointPath)
-				}
-				return finish()
+		"points", points, "tend", tEnd, "from_row", req.StartRow+1)
+	res, err := service.RunSimulate(cm, req, service.SimOpts{
+		Budget: bud, Registry: reg, Log: ins.Log.Scope("ode"),
+		Row: func(row int, t float64, y []float64) error {
+			writeRow(w, t, y)
+			if row > 0 {
+				log.Debug("row", "output row", "row", row, "t", t)
 			}
-			return err
-		}
-		writeRow(w, t1, y)
-		log.Debug("row", "output row", "row", i, "t", t1)
-		if o.checkpointPath != "" {
-			st := simState{Points: points, TEnd: tEnd, Solver: solverName,
-				Row: i, Y: append([]float64(nil), y...)}
-			if err := checkpoint.Save(o.checkpointPath, simKind, st); err != nil {
-				lane.End()
-				return err
+			if o.checkpointPath != "" && row > 0 {
+				st := simState{Points: points, TEnd: tEnd, Solver: solverName,
+					Row: row, Y: append([]float64(nil), y...)}
+				return checkpoint.Save(o.checkpointPath, simKind, st)
 			}
-		}
-	}
+			return nil
+		},
+	})
 	lane.End()
+	if err != nil {
+		if budget.Exhausted(err) && res != nil {
+			fmt.Fprintf(os.Stderr, "rmssim: stopped at row %d/%d: %v\n", res.Row, points-1, err)
+			if o.checkpointPath != "" {
+				fmt.Fprintf(os.Stderr, "rmssim: checkpoint at %s — continue with -resume\n", o.checkpointPath)
+			}
+			return finish()
+		}
+		return err
+	}
 	return finish()
 }
 

@@ -54,6 +54,7 @@ var Stages = []Stage{
 	{"scalek", "rate-constant/time rescaling equivalence", true, stageScaleK},
 	{"conserve", "conservation-law residuals of dy and of trajectories", true, stageConserve},
 	{"rdl", "RDL parse→format→reparse network and pipeline equivalence", false, stageRDL},
+	{"service", "HTTP service vs direct engine vs inline pipeline (exact)", true, stageService},
 }
 
 // StageNames returns the stage names in matrix order.

@@ -52,6 +52,12 @@ type Model struct {
 	// AnalyticJac, when non-nil, supplies the compiled symbolic Jacobian;
 	// the stiff solver then skips finite differencing entirely.
 	AnalyticJac *codegen.JacobianProgram
+	// SymbolicLU, when non-nil, is a prebuilt symbolic sparse
+	// factorization of AnalyticJac.PatternCSR(); every solve forks it
+	// instead of recomputing the ordering and fill analysis (see
+	// ode.Options.SymbolicLU). The service layer's compiled-model cache
+	// populates it so repeated fit requests amortize the symbolic phase.
+	SymbolicLU *linalg.SparseLU
 	// ErrorFunc combines one simulated and one measured property value
 	// into the error-vector contribution — the paper's
 	// "function(simulated_value, experimental_value)" in Fig. 9. The
@@ -762,6 +768,7 @@ func (e *Estimator) solveFileRange(ev *codegen.Evaluator, pool *parallel.Pool, f
 			opts.SparseJacobian = func(_ float64, yy []float64, dst *linalg.CSR) {
 				jacEv.EvalCSR(yy, k, dst)
 			}
+			opts.SymbolicLU = e.model.SymbolicLU
 		}
 		solver = ode.NewBDF(rhs, n, opts)
 	} else {
@@ -893,6 +900,7 @@ func (e *Estimator) solveRankBatch(fileIdx []int, k []float64, pool *parallel.Po
 		bopts.BatchJacobian = func(_ float64, y []float64, active []bool, dst []*linalg.CSR) {
 			jacEv.EvalCSR(y, kSoA, active, dst)
 		}
+		bopts.SymbolicLU = e.model.SymbolicLU
 	}
 	solver := ode.NewBatchBDF(rhs, n, b, bopts)
 

@@ -92,13 +92,20 @@ func (s *Server) Close() error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
+	s.Register(mux)
+	return mux
+}
+
+// Register mounts the introspection endpoints (everything but the index
+// page) on an externally-owned mux — how the service layer serves them
+// beside its job API on one listener.
+func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/events", s.handleEvents)
 	mux.HandleFunc("/progress", s.handleProgress)
-	return mux
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -377,6 +377,9 @@ func (f *SparseLU) Fork() *SparseLU {
 	return &g
 }
 
+// N returns the factorization's dimension.
+func (f *SparseLU) N() int { return f.n }
+
 // FillNNZ returns the nonzero count of L+U including fill-in.
 func (f *SparseLU) FillNNZ() int { return len(f.colIdx) }
 

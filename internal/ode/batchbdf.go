@@ -161,9 +161,13 @@ func (s *BatchBDF) initSparse() {
 	if pat.N != s.n || s.n < minDim || thr < 0 || pat.Density() > thr {
 		return
 	}
-	slu0, err := linalg.NewSparseLU(pat)
-	if err != nil {
-		return
+	slu0 := o.SymbolicLU
+	if slu0 == nil || slu0.N() != s.n {
+		var err error
+		slu0, err = linalg.NewSparseLU(pat)
+		if err != nil {
+			return
+		}
 	}
 	s.sparse = true
 	s.jacCSR = make([]*linalg.CSR, s.b)

@@ -113,9 +113,15 @@ func (s *BDF) initSparse(o Options) {
 		pat.Density() > o.SparseThreshold {
 		return
 	}
-	slu, err := linalg.NewSparseLU(pat)
-	if err != nil {
-		return // pattern misses a diagonal: unusable without pivoting
+	var slu *linalg.SparseLU
+	if o.SymbolicLU != nil && o.SymbolicLU.N() == s.n {
+		slu = o.SymbolicLU.Fork()
+	} else {
+		var err error
+		slu, err = linalg.NewSparseLU(pat)
+		if err != nil {
+			return // pattern misses a diagonal: unusable without pivoting
+		}
 	}
 	s.jacCSR = pat.Clone()
 	s.mCSR = pat.Clone()

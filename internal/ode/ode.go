@@ -68,6 +68,15 @@ type Options struct {
 	// SparseMinDim is the minimum dimension for the sparse path
 	// (default 20).
 	SparseMinDim int
+	// SymbolicLU, when non-nil, is a prebuilt symbolic factorization of
+	// SparsePattern (linalg.NewSparseLU over the same pattern). The
+	// solver then forks it — private numeric storage over the shared
+	// one-time ordering and fill analysis — instead of recomputing the
+	// symbolic phase. The service layer's compiled-model cache stores one
+	// per model so concurrent requests amortize the analysis; numerics
+	// are identical either way (the ordering is a deterministic function
+	// of the pattern). Ignored when the sparse gates reject the pattern.
+	SymbolicLU *linalg.SparseLU
 	// Observer, when non-nil, receives one StepEvent per adaptive step
 	// attempt — accepted or rejected — with the step's size, order,
 	// error-norm and Newton/factorization work. Fixed-step testing modes

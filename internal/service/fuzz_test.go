@@ -1,0 +1,133 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzServer lazily builds one shared Server for the whole fuzz
+// process; requests run synchronously (wait=1) so the queue never
+// backs up.
+var (
+	fuzzOnce sync.Once
+	fuzzURL  string
+)
+
+func fuzzServerURL() string {
+	fuzzOnce.Do(func() {
+		srv := New(Config{QueueCap: 64, Workers: 2})
+		ts := httptest.NewServer(srv.Handler())
+		fuzzURL = ts.URL
+		// The process owns ts for its lifetime; fuzz workers are
+		// separate processes, each with its own instance.
+	})
+	return fuzzURL
+}
+
+// rdlSeedCorpus pulls the RDL parser's fuzz corpus in as model sources
+// so the service fuzzer starts from inputs that reach deep into the
+// compile path.
+func rdlSeedCorpus(f *testing.F) []string {
+	f.Helper()
+	dir := filepath.Join("..", "rdl", "testdata", "fuzz", "FuzzParseRDL")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Logf("no RDL corpus at %s: %v", dir, err)
+		return nil
+	}
+	var srcs []string
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		// Corpus format: "go test fuzz v1" then one string(...) line.
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "string(") || !strings.HasSuffix(line, ")") {
+				continue
+			}
+			if s, err := strconv.Unquote(line[len("string(") : len(line)-1]); err == nil {
+				srcs = append(srcs, s)
+			}
+		}
+	}
+	return srcs
+}
+
+// FuzzServiceRequest throws arbitrary JSON bodies at the service API.
+// The contract under fuzz: the server never panics, never hangs, and
+// always answers a documented status with a JSON body — malformed
+// input is the client's 4xx or a failed job, never a 5xx or a crash.
+func FuzzServiceRequest(f *testing.F) {
+	// Structured seeds: one per request shape the API accepts.
+	f.Add(`{"kind": "rdl", "source": "species A = \"[CH4:1]\" init 1.0", "optimize": "full"}`)
+	f.Add(`{"kind": "net", "source": "species A 1\nspecies B 0\nreaction 1 A -> 1 B k1"}`)
+	f.Add(`{"kind": "vulcan", "variants": 9}`)
+	f.Add(`{"spec": {"kind": "rdl", "source": "x"}, "tend": 1, "points": 5, "solver": "adams-gear"}`)
+	f.Add(`{"model": "deadbeef", "tend": 0.5, "points": 3, "rates": {"K_d": 2}, "sparse": true}`)
+	f.Add(`{"spec": {"kind": "rdl", "source": ""}, "data": [{"name": "d", "t": [0.1], "v": [1]}], ` +
+		`"property": "sum", "maxiter": 2, "start": [1], "lower": [0.5], "upper": [2]}`)
+	f.Add(`{"tend": "soon"}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`[{"kind": "rdl"}]`)
+	// RDL corpus seeds, wrapped the way a client would ship them.
+	for _, src := range rdlSeedCorpus(f) {
+		body, err := json.Marshal(ModelSpec{Kind: KindRDL, Source: src})
+		if err != nil {
+			continue
+		}
+		f.Add(string(body))
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	f.Fuzz(func(t *testing.T, body string) {
+		base := fuzzServerURL()
+		paths := []string{"/v1/models"}
+		// Only forward bounded work to the job endpoints: a mutated
+		// body with points=1e9 or maxiter=1e6 is legal input whose
+		// honest handling takes unbounded time, which a fuzzer cannot
+		// wait out. The decode surface is identical on /v1/models.
+		var probe struct {
+			Points  float64 `json:"points"`
+			TEnd    float64 `json:"tend"`
+			MaxIter float64 `json:"maxiter"`
+		}
+		if err := json.Unmarshal([]byte(body), &probe); err == nil &&
+			probe.Points <= 64 && probe.TEnd <= 1e3 && probe.MaxIter <= 8 {
+			paths = append(paths, "/v1/simulate", "/v1/fit", "/v1/verify")
+		}
+		for _, path := range paths {
+			resp, err := client.Post(base+path+"?wait=1", "application/json",
+				bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Fatalf("POST %s: %v", path, err)
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("read %s: %v", path, err)
+			}
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusAccepted, http.StatusBadRequest,
+				http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			default:
+				t.Fatalf("POST %s: status %d body %q", path, resp.StatusCode, data)
+			}
+			if !json.Valid(data) {
+				t.Fatalf("POST %s: non-JSON response %q", path, data)
+			}
+		}
+	})
+}

@@ -13,13 +13,17 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (mpi, parallel, estimator, sched, ode, linalg, telemetry, introspect, codegen)"
+echo "== go test -race (mpi, parallel, estimator, sched, ode, linalg, telemetry, introspect, codegen, service)"
 go test -race ./internal/mpi/... ./internal/parallel/... ./internal/estimator/... \
 	./internal/sched/... ./internal/ode/... ./internal/linalg/... \
-	./internal/telemetry/... ./internal/introspect/... ./internal/codegen/...
+	./internal/telemetry/... ./internal/introspect/... ./internal/codegen/... \
+	./internal/service/... ./cmd/rmsd/...
 
 echo "== introspection endpoints smoke (rmssim -listen)"
 ./scripts/introspect_smoke.sh
+
+echo "== service smoke (rmsd + rmsctl vs rmssim/rmsrun)"
+./scripts/service_smoke.sh
 
 echo "== fault-injection suite (-race)"
 go test -race -run 'Fault|Recover|Watchdog|Inject|Penal|NaN|NonFinite|Flaky|Stall|Crash|Abort' \

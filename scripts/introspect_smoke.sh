@@ -60,7 +60,6 @@ if [ -z "$addr" ]; then
 	cat "$work/stderr" >&2
 	exit 1
 fi
-echo "   serving on $addr"
 
 fetch() {
 	if command -v curl >/dev/null 2>&1; then
@@ -72,9 +71,16 @@ fetch() {
 	fi
 }
 
-echo "== GET /healthz"
-health=$(fetch /healthz)
-[ "$health" = "ok" ] || { echo "FAIL: /healthz = '$health'" >&2; exit 1; }
+# Readiness is /healthz answering, not the stderr line: poll it rather
+# than sleeping a fixed amount and hoping the listener is up.
+echo "== GET /healthz (readiness poll)"
+i=0
+until health=$(fetch /healthz 2>/dev/null) && [ "$health" = "ok" ]; do
+	i=$((i + 1))
+	[ $i -lt 100 ] || { echo "FAIL: /healthz never answered ok" >&2; exit 1; }
+	sleep 0.1
+done
+echo "   serving on $addr"
 
 echo "== GET /metrics"
 fetch /metrics >"$work/metrics"

@@ -1,0 +1,150 @@
+#!/bin/sh
+# Service smoke test: start the rmsd daemon on port 0, drive it over
+# HTTP with rmsctl, and hold the served results to the standalone CLIs
+# (docs/service.md has the API reference).
+#
+# Checks:
+#   readiness     bound address parsed from stderr, /healthz polled (no
+#                 fixed ports, no sleep-based readiness)
+#   cache         second identical compile returns the same model id
+#                 marked (cached); /metrics shows rms_service_cache_hits
+#   simulate      rmsctl simulate CSV is byte-identical to rmssim
+#   fit           rmsctl fit table rows match rmsrun on the same data
+#   shutdown      SIGTERM drains and exits cleanly
+#
+# Requires only the go toolchain and a POSIX shell (curl or wget,
+# whichever is present; falls back to a tiny go fetcher otherwise).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/service_smoke.XXXXXX")
+trap 'status=$?; [ -n "${rmsdpid:-}" ] && kill "$rmsdpid" 2>/dev/null || true; rm -rf "$work"; exit $status' EXIT INT TERM
+
+cat >"$work/m.rdl" <<'EOF'
+species A = "[CH3:1][CH3:2]" init 1.0
+reaction Decompose {
+    reactants A
+    disconnect 1:1 1:2
+    rate K_d
+}
+EOF
+echo "K_d = 2" >"$work/r.rcip"
+
+echo "== go build rmsd rmsctl rmssim rmsrun rmsgen"
+go build -o "$work/" ./cmd/rmsd ./cmd/rmsctl ./cmd/rmssim ./cmd/rmsrun ./cmd/rmsgen
+
+echo "== rmsd -listen 127.0.0.1:0 (background)"
+"$work/rmsd" -listen 127.0.0.1:0 -queue 8 -workers 2 \
+	-ckptdir "$work/ckpt" 2>"$work/stderr" &
+rmsdpid=$!
+
+# Readiness: the daemon picks a free port and prints it; wait for the
+# line, then poll /healthz until it answers.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's#^rmsd: serving on http://##p' "$work/stderr" | head -n1)
+	[ -n "$addr" ] && break
+	if ! kill -0 "$rmsdpid" 2>/dev/null; then
+		echo "FAIL: rmsd exited before serving:" >&2
+		cat "$work/stderr" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "FAIL: no listen address after 10s" >&2; cat "$work/stderr" >&2; exit 1; }
+
+fetch() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS --max-time 10 "http://$addr$1"
+	elif command -v wget >/dev/null 2>&1; then
+		wget -q -T 10 -O - "http://$addr$1"
+	else
+		go run ./scripts/httpget.go "http://$addr$1"
+	fi
+}
+
+i=0
+until health=$(fetch /healthz 2>/dev/null) && [ "$health" = "ok" ]; do
+	i=$((i + 1))
+	[ $i -lt 100 ] || { echo "FAIL: /healthz never answered ok" >&2; exit 1; }
+	sleep 0.1
+done
+echo "   serving on $addr"
+
+echo "== compile twice: content-addressed cache"
+"$work/rmsctl" -addr "$addr" compile -rcip "$work/r.rcip" "$work/m.rdl" >"$work/c1"
+"$work/rmsctl" -addr "$addr" compile -rcip "$work/r.rcip" "$work/m.rdl" >"$work/c2"
+cat "$work/c1" "$work/c2"
+grep -q '(compiled)$' "$work/c1" || { echo "FAIL: first compile not fresh" >&2; exit 1; }
+grep -q '(cached)$' "$work/c2" || { echo "FAIL: second compile missed the cache" >&2; exit 1; }
+id1=$(awk '{print $2}' "$work/c1"); id2=$(awk '{print $2}' "$work/c2")
+[ "$id1" = "$id2" ] || { echo "FAIL: cache returned a different id" >&2; exit 1; }
+
+fetch /metrics >"$work/metrics"
+grep -q '^rms_service_cache_hits_total [1-9]' "$work/metrics" || \
+	grep -q '^rms_service_cache_hits [1-9]' "$work/metrics" || {
+	echo "FAIL: /metrics missing a nonzero rms_service_cache_hits:" >&2
+	grep service "$work/metrics" >&2 || true
+	exit 1
+}
+
+echo "== simulate: HTTP vs rmssim (byte-identical CSV)"
+"$work/rmsctl" -addr "$addr" simulate -model "$id1" \
+	-tend 1 -points 50 >"$work/http.csv"
+"$work/rmssim" -rcip "$work/r.rcip" -tend 1 -points 50 \
+	"$work/m.rdl" >"$work/cli.csv"
+if ! cmp -s "$work/http.csv" "$work/cli.csv"; then
+	echo "FAIL: served trajectory differs from rmssim:" >&2
+	diff "$work/cli.csv" "$work/http.csv" | head >&2
+	exit 1
+fi
+echo "   $(wc -l <"$work/cli.csv") rows identical"
+
+echo "== fit: HTTP vs rmsrun on the vulcanization example"
+"$work/rmsgen" -variants 9 -files 3 -records 40 -out "$work/data" >/dev/null
+"$work/rmsctl" -addr "$addr" fit -variants 9 -data "$work/data" \
+	-ranks 2 -maxiter 2 -free 1 >"$work/http.fit"
+"$work/rmsrun" -variants 9 -data "$work/data" \
+	-ranks 2 -maxiter 2 -free 1 >"$work/cli.fit"
+# Only the fitted-value table (rmsrun repeats the names later in the
+# confidence-interval table).
+table='/^rate constant/{f=1; next} f && /^K_/ {print $1, $2} f && !/^K_/ {f=0}'
+awk "$table" "$work/http.fit" >"$work/http.rates"
+awk "$table" "$work/cli.fit" >"$work/cli.rates"
+[ -s "$work/http.rates" ] || { echo "FAIL: no fitted rates in rmsctl output" >&2; exit 1; }
+if ! cmp -s "$work/http.rates" "$work/cli.rates"; then
+	echo "FAIL: served fit differs from rmsrun:" >&2
+	diff "$work/cli.rates" "$work/http.rates" >&2
+	exit 1
+fi
+grep '^converged=' "$work/http.fit" >"$work/http.conv"
+grep '^converged=' "$work/cli.fit" >"$work/cli.conv"
+if ! cmp -s "$work/http.conv" "$work/cli.conv"; then
+	echo "FAIL: convergence summaries differ:" >&2
+	diff "$work/cli.conv" "$work/http.conv" >&2
+	exit 1
+fi
+echo "   $(wc -l <"$work/cli.rates") fitted rates identical; $(cat "$work/cli.conv")"
+
+echo "== verify endpoint: cached vs fresh compilation"
+"$work/rmsctl" -addr "$addr" verify -rcip "$work/r.rcip" "$work/m.rdl"
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$rmsdpid"
+i=0
+while kill -0 "$rmsdpid" 2>/dev/null; do
+	i=$((i + 1))
+	[ $i -lt 100 ] || { echo "FAIL: rmsd did not exit within 10s of SIGTERM" >&2; exit 1; }
+	sleep 0.1
+done
+wait "$rmsdpid" 2>/dev/null || true
+rmsdpid=""
+grep -q 'rmsd: shutdown' "$work/stderr" || {
+	echo "FAIL: no shutdown line on stderr:" >&2
+	cat "$work/stderr" >&2
+	exit 1
+}
+echo "service smoke: OK"
